@@ -1,0 +1,66 @@
+package algorithms
+
+import (
+	"math"
+
+	"graphmat"
+)
+
+// Unreached marks a vertex BFS/SSSP never visited.
+const Unreached = math.MaxUint32
+
+// BFSProgram implements the paper's equation (2): Distance(v) =
+// min(Distance(v), t+1), becoming active on change. Message: the sender's
+// distance. Process: message+1. Reduce: min. Apply: min with activation.
+type BFSProgram struct{}
+
+// SendMessage emits the vertex's current distance.
+func (BFSProgram) SendMessage(_ graphmat.VertexID, prop uint32) (uint32, bool) { return prop, true }
+
+// ProcessMessage advances the frontier one hop.
+func (BFSProgram) ProcessMessage(m uint32, _ float32, _ uint32) uint32 { return m + 1 }
+
+// Reduce keeps the smaller distance.
+func (BFSProgram) Reduce(a, b uint32) uint32 { return min(a, b) }
+
+// Apply adopts an improved distance and reactivates the vertex.
+func (BFSProgram) Apply(r uint32, _ graphmat.VertexID, prop *uint32) bool {
+	if r < *prop {
+		*prop = r
+		return true
+	}
+	return false
+}
+
+// Direction scatters along out-edges (BFS inputs are symmetrized, §5.1).
+func (BFSProgram) Direction() graphmat.Direction { return graphmat.Out }
+
+// ProcessIgnoresDst declares that ProcessMessage never reads the
+// destination property, enabling the backend's fast path.
+func (BFSProgram) ProcessIgnoresDst() {}
+
+// NewBFSGraph builds the BFS property graph, applying the paper's
+// preprocessing: self-loops removed and the edge set symmetrized ("we
+// replicate edges ... to obtain a symmetric graph"). The input is consumed.
+func NewBFSGraph(adj *graphmat.COO[float32], partitions int) (*graphmat.Graph[uint32, float32], error) {
+	adj.RemoveSelfLoops()
+	adj.SortRowMajor()
+	adj.DedupKeepFirst()
+	adj.Symmetrize()
+	return graphmat.New[uint32](adj, graphmat.Options{Partitions: partitions})
+}
+
+// BFS computes hop distances from root on a graph built by NewBFSGraph.
+// Unreachable vertices report Unreached.
+func BFS(g *graphmat.Graph[uint32, float32], root uint32, cfg graphmat.Config) ([]uint32, graphmat.Stats) {
+	g.SetAllProps(Unreached)
+	g.SetProp(root, 0)
+	g.ClearActive()
+	g.SetActive(root)
+	stats := graphmat.Run(g, BFSProgram{}, cfg)
+	dist := make([]uint32, g.NumVertices())
+	for v := range dist {
+		dist[v] = g.Prop(uint32(v))
+	}
+	return dist, stats
+}

@@ -1,0 +1,19 @@
+// Package algorithms provides the five graph algorithms of the GraphMat
+// paper (§3) written as GraphMat vertex programs — PageRank, breadth-first
+// search, single-source shortest paths, triangle counting and collaborative
+// filtering — plus connected components and degree computation as
+// extensions.
+//
+// Each algorithm exposes three layers:
+//
+//   - the Program type itself (e.g. SSSPProgram), for users composing their
+//     own pipelines;
+//   - a New*Graph constructor that applies the paper's dataset preprocessing
+//     (§5.1) and builds the property graph;
+//   - a runner (e.g. SSSP) that initializes vertex state, executes the
+//     program and extracts results.
+//
+// The benchmark harness builds graphs once and calls runners repeatedly, so
+// graph construction time is excluded from measurements exactly as the paper
+// excludes load time.
+package algorithms

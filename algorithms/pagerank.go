@@ -1,0 +1,135 @@
+package algorithms
+
+import (
+	"math"
+
+	"graphmat"
+)
+
+// PRVertex is the PageRank vertex state: the current rank and the
+// precomputed reciprocal out-degree (SendMessage has no graph access, so the
+// degree must live in the vertex property — the C++ implementation does the
+// same).
+type PRVertex struct {
+	Rank   float64
+	InvDeg float64
+}
+
+// PageRankProgram implements the paper's equation (1):
+//
+//	PRₜ₊₁(v) = r + (1−r) · Σ_{(u,v)∈E} PRₜ(u)/degree(u)
+//
+// Message: PR(u)/degree(u). Process: identity. Reduce: sum. Apply: the
+// equation, activating the vertex when the rank moved more than Tolerance.
+type PageRankProgram struct {
+	// RestartProb is r, the random-surf probability.
+	RestartProb float64
+	// Tolerance bounds the rank change below which a vertex deactivates;
+	// 0 keeps every receiving vertex active (run a fixed iteration count).
+	Tolerance float64
+}
+
+// SendMessage emits rank/degree; sinks (out-degree 0) send nothing.
+func (p PageRankProgram) SendMessage(_ graphmat.VertexID, prop PRVertex) (float64, bool) {
+	if prop.InvDeg == 0 {
+		return 0, false
+	}
+	return prop.Rank * prop.InvDeg, true
+}
+
+// ProcessMessage passes the contribution through unchanged.
+func (p PageRankProgram) ProcessMessage(m float64, _ float32, _ PRVertex) float64 { return m }
+
+// Reduce sums contributions.
+func (p PageRankProgram) Reduce(a, b float64) float64 { return a + b }
+
+// Apply computes the new rank and reports whether it moved beyond Tolerance.
+func (p PageRankProgram) Apply(sum float64, _ graphmat.VertexID, prop *PRVertex) bool {
+	next := p.RestartProb + (1-p.RestartProb)*sum
+	changed := math.Abs(next-prop.Rank) > p.Tolerance
+	prop.Rank = next
+	return changed
+}
+
+// Direction scatters rank along out-edges.
+func (p PageRankProgram) Direction() graphmat.Direction { return graphmat.Out }
+
+// ProcessIgnoresDst declares that ProcessMessage never reads the
+// destination property, enabling the backend's fast path.
+func (PageRankProgram) ProcessIgnoresDst() {}
+
+// PageRankOptions configures a PageRank run.
+type PageRankOptions struct {
+	RestartProb   float64 // 0 means 0.15
+	Tolerance     float64 // 0 with MaxIterations>0 runs exactly MaxIterations
+	MaxIterations int     // 0 means 100
+	Config        graphmat.Config
+}
+
+func (o PageRankOptions) withDefaults() PageRankOptions {
+	if o.RestartProb == 0 {
+		o.RestartProb = 0.15
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 100
+	}
+	return o
+}
+
+// NewPageRankGraph builds the PageRank property graph from adjacency triples
+// (paper preprocessing: self-loops removed, edges kept directed). The input
+// is consumed.
+func NewPageRankGraph(adj *graphmat.COO[float32], partitions int) (*graphmat.Graph[PRVertex, float32], error) {
+	adj.RemoveSelfLoops()
+	return graphmat.New[PRVertex](adj, graphmat.Options{Partitions: partitions})
+}
+
+// PageRank runs PageRank on a graph built by NewPageRankGraph, returning the
+// final rank per vertex. Vertex state is (re)initialized, so the same graph
+// can be reused across runs.
+//
+// Equation (1) sums contributions from *every* vertex each iteration, so the
+// runner re-activates all vertices before each superstep (the paper's
+// PageRank likewise has every vertex participating each iteration — that is
+// why Figure 4a can report a stable time per iteration). Convergence is
+// detected when no vertex's rank moves beyond Tolerance.
+func PageRank(g *graphmat.Graph[PRVertex, float32], opt PageRankOptions) ([]float64, graphmat.Stats) {
+	opt = opt.withDefaults()
+	g.InitProps(func(v uint32) PRVertex {
+		p := PRVertex{Rank: 1}
+		if d := g.OutDegree(v); d > 0 {
+			p.InvDeg = 1 / float64(d)
+		}
+		return p
+	})
+	prog := PageRankProgram{RestartProb: opt.RestartProb, Tolerance: opt.Tolerance}
+	cfg := opt.Config
+	cfg.MaxIterations = 1
+	// One workspace across the whole superstep loop (graph_program_init in
+	// the paper's appendix): avoids two vertex-sized allocations per step.
+	ws := graphmat.NewWorkspace[float64, float64](int(g.NumVertices()), cfg.Vector)
+	var stats graphmat.Stats
+	for it := 0; it < opt.MaxIterations; it++ {
+		g.SetAllActive()
+		s, err := graphmat.RunWithWorkspace(g, prog, cfg, ws)
+		if err != nil {
+			panic(err) // workspace built for this graph and config above
+		}
+		stats.Iterations += s.Iterations
+		stats.MessagesSent += s.MessagesSent
+		stats.EdgesProcessed += s.EdgesProcessed
+		stats.Applies += s.Applies
+		stats.ActiveSum += s.ActiveSum
+		stats.ColumnsProbed += s.ColumnsProbed
+		// After the superstep the active set holds exactly the vertices
+		// whose rank moved beyond Tolerance.
+		if !g.Active().Any() {
+			break
+		}
+	}
+	ranks := make([]float64, g.NumVertices())
+	for v := range ranks {
+		ranks[v] = g.Prop(uint32(v)).Rank
+	}
+	return ranks, stats
+}

@@ -1,0 +1,178 @@
+package algorithms
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"graphmat"
+)
+
+// The engine requires Reduce to be commutative and associative (partitions
+// fold results in structure order). These property tests pin that contract
+// for every shipped program.
+
+func TestQuickPageRankReduceCommutesAssociates(t *testing.T) {
+	p := PageRankProgram{}
+	comm := func(a, b float64) bool { return p.Reduce(a, b) == p.Reduce(b, a) }
+	if err := quick.Check(comm, nil); err != nil {
+		t.Error("commutativity:", err)
+	}
+	assoc := func(aRaw, bRaw, cRaw uint32) bool {
+		// Rank contributions are probabilities scaled by degree: bound the
+		// domain to realistic magnitudes (float addition overflows at the
+		// extremes of the full float64 range regardless of order).
+		a := float64(aRaw) / float64(math.MaxUint32)
+		b := float64(bRaw) / float64(math.MaxUint32)
+		c := float64(cRaw) / float64(math.MaxUint32)
+		l := p.Reduce(p.Reduce(a, b), c)
+		r := p.Reduce(a, p.Reduce(b, c))
+		// Float addition is not exactly associative; the engine's contract
+		// is order-insensitivity up to rounding.
+		return math.Abs(l-r) <= 1e-12
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Error("associativity:", err)
+	}
+}
+
+func TestQuickBFSReduceLattice(t *testing.T) {
+	p := BFSProgram{}
+	f := func(a, b, c uint32) bool {
+		return p.Reduce(a, b) == p.Reduce(b, a) &&
+			p.Reduce(p.Reduce(a, b), c) == p.Reduce(a, p.Reduce(b, c)) &&
+			p.Reduce(a, a) == a // idempotent (min is a lattice meet)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSSSPReduceLattice(t *testing.T) {
+	p := SSSPProgram{}
+	f := func(a, b, c float32) bool {
+		if a != a || b != b || c != c { // NaN inputs excluded
+			return true
+		}
+		return p.Reduce(a, b) == p.Reduce(b, a) &&
+			p.Reduce(p.Reduce(a, b), c) == p.Reduce(a, p.Reduce(b, c)) &&
+			p.Reduce(a, a) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCCReduceLattice(t *testing.T) {
+	p := CCProgram{}
+	f := func(a, b, c uint32) bool {
+		return p.Reduce(a, b) == p.Reduce(b, a) &&
+			p.Reduce(p.Reduce(a, b), c) == p.Reduce(a, p.Reduce(b, c)) &&
+			p.Reduce(a, a) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTCPhase2ReduceCommutes(t *testing.T) {
+	p := tcPhase2{}
+	f := func(a, b, c int64) bool {
+		return p.Reduce(a, b) == p.Reduce(b, a) &&
+			p.Reduce(p.Reduce(a, b), c) == p.Reduce(a, p.Reduce(b, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCFReduceCommutes(t *testing.T) {
+	p := CFProgram{}
+	f := func(raw1, raw2 [LatentDim]float32) bool {
+		ab := p.Reduce(raw1, raw2)
+		ba := p.Reduce(raw2, raw1)
+		for k := 0; k < LatentDim; k++ {
+			if ab[k] != ba[k] && !(math.IsNaN(float64(ab[k])) && math.IsNaN(float64(ba[k]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSSSPApplySemantics(t *testing.T) {
+	p := SSSPProgram{}
+	prop := float32(10)
+	if !p.Apply(5, 0, &prop) || prop != 5 {
+		t.Error("improvement not adopted or not activated")
+	}
+	if p.Apply(7, 0, &prop) || prop != 5 {
+		t.Error("regression adopted or activated")
+	}
+	if p.Apply(5, 0, &prop) {
+		t.Error("equal distance re-activated")
+	}
+}
+
+func TestBFSApplySemantics(t *testing.T) {
+	p := BFSProgram{}
+	prop := uint32(Unreached)
+	if !p.Apply(3, 0, &prop) || prop != 3 {
+		t.Error("first visit not adopted")
+	}
+	if p.Apply(3, 0, &prop) {
+		t.Error("revisit activated")
+	}
+}
+
+func TestPageRankSinksSendNothing(t *testing.T) {
+	p := PageRankProgram{RestartProb: 0.15}
+	if _, send := p.SendMessage(0, PRVertex{Rank: 1, InvDeg: 0}); send {
+		t.Error("sink vertex sent a message")
+	}
+	if m, send := p.SendMessage(0, PRVertex{Rank: 2, InvDeg: 0.5}); !send || m != 1 {
+		t.Errorf("message = %v send = %v", m, send)
+	}
+}
+
+func TestIntersectCount(t *testing.T) {
+	cases := []struct {
+		a, b []uint32
+		want int64
+	}{
+		{nil, nil, 0},
+		{[]uint32{1, 2, 3}, nil, 0},
+		{[]uint32{1, 2, 3}, []uint32{2, 3, 4}, 2},
+		{[]uint32{1, 5, 9}, []uint32{2, 6, 10}, 0},
+		{[]uint32{1, 2, 3}, []uint32{1, 2, 3}, 3},
+		{[]uint32{7}, []uint32{7}, 1},
+	}
+	for _, c := range cases {
+		if got := intersectCount(c.a, c.b); got != c.want {
+			t.Errorf("intersectCount(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Programs that declare ProcessIgnoresDst must actually ignore the
+// destination argument: calling with zero vs arbitrary dst must agree.
+func TestDstIndependentContracts(t *testing.T) {
+	var _ graphmat.DstIndependent = PageRankProgram{}
+	var _ graphmat.DstIndependent = BFSProgram{}
+	var _ graphmat.DstIndependent = SSSPProgram{}
+	var _ graphmat.DstIndependent = CCProgram{}
+	var _ graphmat.DstIndependent = DegreeProgram{}
+
+	if (PageRankProgram{}).ProcessMessage(2, 1, PRVertex{}) != (PageRankProgram{}).ProcessMessage(2, 1, PRVertex{Rank: 99, InvDeg: 1}) {
+		t.Error("PageRank ProcessMessage reads dst")
+	}
+	if (BFSProgram{}).ProcessMessage(3, 1, 0) != (BFSProgram{}).ProcessMessage(3, 1, 77) {
+		t.Error("BFS ProcessMessage reads dst")
+	}
+	if (SSSPProgram{}).ProcessMessage(3, 2, 0) != (SSSPProgram{}).ProcessMessage(3, 2, 77) {
+		t.Error("SSSP ProcessMessage reads dst")
+	}
+}

@@ -1,0 +1,66 @@
+package algorithms
+
+import (
+	"math"
+
+	"graphmat"
+)
+
+// InfDist marks a vertex SSSP never reached.
+const InfDist = float32(math.MaxFloat32)
+
+// SSSPProgram is the program of the paper's appendix (and Figure 3), a
+// frontier Bellman-Ford: message = current distance, process = message +
+// edge weight, reduce = min, apply = min with activation on improvement
+// (equation (8), updating only neighbors of vertices that changed).
+type SSSPProgram struct{}
+
+// SendMessage emits the vertex's current distance.
+func (SSSPProgram) SendMessage(_ graphmat.VertexID, prop float32) (float32, bool) {
+	return prop, true
+}
+
+// ProcessMessage extends the path along one edge.
+func (SSSPProgram) ProcessMessage(m float32, w float32, _ float32) float32 { return m + w }
+
+// Reduce keeps the shorter path.
+func (SSSPProgram) Reduce(a, b float32) float32 { return min(a, b) }
+
+// Apply adopts an improved distance and reactivates the vertex.
+func (SSSPProgram) Apply(r float32, _ graphmat.VertexID, prop *float32) bool {
+	if r < *prop {
+		*prop = r
+		return true
+	}
+	return false
+}
+
+// Direction performs path traversals only via out-edges (appendix:
+// "order = OUT_EDGES").
+func (SSSPProgram) Direction() graphmat.Direction { return graphmat.Out }
+
+// ProcessIgnoresDst declares that ProcessMessage never reads the
+// destination property, enabling the backend's fast path.
+func (SSSPProgram) ProcessIgnoresDst() {}
+
+// NewSSSPGraph builds the SSSP property graph: self-loops removed, directed
+// edges kept as-is with their weights (§5.1). The input is consumed.
+func NewSSSPGraph(adj *graphmat.COO[float32], partitions int) (*graphmat.Graph[float32, float32], error) {
+	adj.RemoveSelfLoops()
+	return graphmat.New[float32](adj, graphmat.Options{Partitions: partitions})
+}
+
+// SSSP computes shortest-path distances from src on a graph built by
+// NewSSSPGraph. Unreachable vertices report InfDist.
+func SSSP(g *graphmat.Graph[float32, float32], src uint32, cfg graphmat.Config) ([]float32, graphmat.Stats) {
+	g.SetAllProps(InfDist)
+	g.SetProp(src, 0)
+	g.ClearActive()
+	g.SetActive(src)
+	stats := graphmat.Run(g, SSSPProgram{}, cfg)
+	dist := make([]float32, g.NumVertices())
+	for v := range dist {
+		dist[v] = g.Prop(uint32(v))
+	}
+	return dist, stats
+}

@@ -1,0 +1,42 @@
+// Package datagen exposes the reproduction's synthetic workload generators
+// as public API: Graph500 RMAT graphs with the paper's parameter sets
+// (§5.1), power-law bipartite ratings graphs (Netflix-like), and 2-D
+// road-style grids. All generators are deterministic in their seed.
+package datagen
+
+import (
+	"graphmat"
+	"graphmat/internal/gen"
+)
+
+// RMATParams are the recursive-matrix quadrant probabilities.
+type RMATParams = gen.RMATParams
+
+// The paper's three RMAT parameter sets.
+var (
+	// Graph500 (A=0.57, B=C=0.19) — PageRank, BFS and SSSP graphs.
+	Graph500 = gen.RMATGraph500
+	// Triangle (A=0.45, B=C=0.15) — triangle-counting graphs.
+	Triangle = gen.RMATTriangle
+	// SSSP24 (A=0.50, B=C=0.10) — the paper's scale-24 SSSP graph.
+	SSSP24 = gen.RMATSSSP24
+)
+
+// RMATOptions configures RMAT generation; see gen.RMATOptions.
+type RMATOptions = gen.RMATOptions
+
+// RMAT generates a directed Graph500 RMAT graph as adjacency triples.
+func RMAT(opt RMATOptions) *graphmat.COO[float32] { return gen.RMAT(opt) }
+
+// BipartiteOptions configures the synthetic ratings generator.
+type BipartiteOptions = gen.BipartiteOptions
+
+// Bipartite generates a user→item ratings graph (users are vertices
+// [0, Users), items [Users, Users+Items)).
+func Bipartite(opt BipartiteOptions) *graphmat.COO[float32] { return gen.Bipartite(opt) }
+
+// GridOptions configures the road-style grid generator.
+type GridOptions = gen.GridOptions
+
+// Grid generates a bidirectional weighted 2-D grid.
+func Grid(opt GridOptions) *graphmat.COO[float32] { return gen.Grid(opt) }

@@ -1,0 +1,137 @@
+// Package graphmat is a Go reproduction of GraphMat (Sundaram et al.,
+// VLDB 2015): a graph analytics framework that executes vertex programs on a
+// generalized sparse matrix–vector multiplication backend, combining the
+// productivity of "think like a vertex" programming with the performance of
+// optimized sparse linear algebra.
+//
+// A vertex program implements the Program interface — SendMessage,
+// ProcessMessage, Reduce, Apply — and runs with Run:
+//
+//	g, _ := graphmat.New[float32, float32](edges, graphmat.Options{})
+//	g.SetAllProps(math.MaxFloat32)
+//	g.SetProp(src, 0)
+//	g.SetActive(src)
+//	graphmat.Run(g, ssspProgram{}, graphmat.Config{})
+//
+// Ready-made programs for PageRank, BFS, SSSP, triangle counting and
+// collaborative filtering live in the algorithms subpackage. The engine,
+// matrix formats and workload generators are implemented in internal
+// packages; this package is the supported surface.
+package graphmat
+
+import (
+	"graphmat/internal/core"
+	"graphmat/internal/graph"
+	"graphmat/internal/sparse"
+)
+
+// VertexID identifies a vertex; graphs hold at most 2³²−1 vertices.
+type VertexID = core.VertexID
+
+// Program is the GraphMat vertex-program contract; see core.Program.
+type Program[V, E, M, R any] = core.Program[V, E, M, R]
+
+// DstIndependent is the optional marker for programs whose ProcessMessage
+// ignores the destination vertex property; implementing it removes one
+// random memory stream from the SpMV inner loop. See core.DstIndependent.
+type DstIndependent = core.DstIndependent
+
+// Graph is a directed property graph with vertex properties V and edge
+// values E.
+type Graph[V, E any] = graph.Graph[V, E]
+
+// Options configures graph construction (partition count, traversal
+// directions).
+type Options = graph.Options
+
+// Direction selects which edges messages scatter along.
+type Direction = graph.Direction
+
+// Scatter directions.
+const (
+	Out  = graph.Out
+	In   = graph.In
+	Both = graph.Both
+)
+
+// Config controls an engine run; the zero value is the fully optimized
+// configuration on all cores.
+type Config = core.Config
+
+// Stats reports what a run did.
+type Stats = core.Stats
+
+// VectorKind selects the sparse message-vector representation.
+type VectorKind = core.VectorKind
+
+// Engine ablation knobs (see the Figure 7 reproduction).
+const (
+	Bitvector = core.Bitvector
+	Sorted    = core.Sorted
+	Inlined   = core.Inlined
+	Boxed     = core.Boxed
+	Dynamic   = core.Dynamic
+	Static    = core.Static
+)
+
+// COO is an edge-triple list with explicit dimensions, the interchange
+// format accepted by New.
+type COO[E any] = sparse.COO[E]
+
+// Triple is one (src, dst, value) edge.
+type Triple[E any] = sparse.Triple[E]
+
+// Vector is a sparse vector masked by a bitvector, usable with SpMV.
+type Vector[T any] = sparse.Vector[T]
+
+// NewCOO returns an empty edge list over n vertices.
+func NewCOO[E any](n uint32) *COO[E] {
+	return sparse.NewCOO[E](n, n)
+}
+
+// NewVector returns an empty sparse vector of dimension n.
+func NewVector[T any](n int) *Vector[T] {
+	return sparse.NewVector[T](n)
+}
+
+// New builds a graph from adjacency triples (Triple.Row = source,
+// Triple.Col = destination). The input is consumed: sorted and deduplicated
+// in place.
+func New[V, E any](adj *COO[E], opts Options) (*Graph[V, E], error) {
+	return graph.NewFromCOO[V, E](adj, opts)
+}
+
+// Run executes a vertex program until convergence or cfg.MaxIterations.
+func Run[V, E, M, R any, P Program[V, E, M, R]](g *Graph[V, E], p P, cfg Config) Stats {
+	return core.Run(g, p, cfg)
+}
+
+// Workspace is reusable engine scratch (the C++ API's graph_program_init /
+// graph_program_clear); see core.Workspace.
+type Workspace[M, R any] = core.Workspace[M, R]
+
+// NewWorkspace allocates engine scratch for n-vertex graphs. The vector kind
+// must match the Config the workspace will run under (Bitvector unless the
+// naive ablation mode is requested).
+func NewWorkspace[M, R any](n int, kind VectorKind) *Workspace[M, R] {
+	return core.NewWorkspace[M, R](n, kind)
+}
+
+// RunWithWorkspace is Run with caller-managed scratch, for drivers that
+// invoke the engine repeatedly.
+func RunWithWorkspace[V, E, M, R any, P Program[V, E, M, R]](g *Graph[V, E], p P, cfg Config, ws *Workspace[M, R]) (Stats, error) {
+	return core.RunWithWorkspace(g, p, cfg, ws)
+}
+
+// SpMV performs a single generalized sparse matrix–sparse vector
+// multiplication with the program's ProcessMessage/Reduce (the Figure 1
+// primitive), without the surrounding superstep loop.
+func SpMV[V, E, M, R any, P Program[V, E, M, R]](g *Graph[V, E], x *Vector[M], p P, cfg Config) *Vector[R] {
+	return core.SpMV(g, x, p, cfg)
+}
+
+// LoadFile reads a graph file (.mtx Matrix Market, .bin binary edge list, or
+// whitespace text edge list) into adjacency triples.
+func LoadFile(path string) (*COO[float32], error) {
+	return graph.LoadFile(path)
+}

@@ -1,0 +1,197 @@
+package matrixengine
+
+import (
+	"math"
+
+	"graphmat/internal/sparse"
+)
+
+// The paper's five algorithms expressed the CombBLAS way: semiring SpMV plus
+// dense/sparse vector operations, with user values boxed.
+
+// PageRank iterates x = contributions, y = Gᵀ ⊗ x over the (+, ×) semiring,
+// then applies the rank update as a separate dense-vector pass (CombBLAS
+// composes SpMV with EWiseApply the same way).
+func PageRank(m *Matrix, outDeg []uint32, restart float64, iters int) ([]float64, Stats) {
+	var stats Stats
+	n := int(m.N())
+	rank := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1
+	}
+	sr := Semiring{
+		Multiply: func(_ float32, x any) any { return x },
+		Add:      func(a, b any) any { return a.(float64) + b.(float64) },
+	}
+	for it := 0; it < iters; it++ {
+		stats.Iterations++
+		x := sparse.NewVector[any](n)
+		for v := 0; v < n; v++ {
+			if outDeg[v] > 0 {
+				x.Set(uint32(v), rank[v]/float64(outDeg[v]))
+			}
+		}
+		y := m.SpMV(x, sr, &stats)
+		y.Iterate(func(v uint32, sum any) {
+			rank[v] = restart + (1-restart)*sum.(float64)
+		})
+	}
+	return rank, stats
+}
+
+// BFS runs frontier SpMV over the (min, select+1) semiring, masking out
+// visited vertices after each multiplication (CombBLAS's EWiseMult with the
+// complement of the visited vector).
+func BFS(m *Matrix, root uint32) ([]uint32, Stats) {
+	var stats Stats
+	n := int(m.N())
+	dist := make([]uint32, n)
+	for i := range dist {
+		dist[i] = math.MaxUint32
+	}
+	dist[root] = 0
+	sr := Semiring{
+		Multiply: func(_ float32, x any) any { return x.(uint32) + 1 },
+		Add:      func(a, b any) any { return min(a.(uint32), b.(uint32)) },
+	}
+	x := sparse.NewVector[any](n)
+	x.Set(root, uint32(0))
+	for x.NNZ() > 0 {
+		stats.Iterations++
+		y := m.SpMV(x, sr, &stats)
+		next := sparse.NewVector[any](n)
+		y.Iterate(func(v uint32, d any) {
+			if dist[v] == math.MaxUint32 {
+				dist[v] = d.(uint32)
+				next.Set(v, d)
+			}
+		})
+		x = next
+	}
+	return dist, stats
+}
+
+// InfDist marks unreachable vertices in SSSP results.
+const InfDist = float32(math.MaxFloat32)
+
+// SSSP runs Bellman-Ford rounds over the (min, +) semiring.
+func SSSP(m *Matrix, src uint32) ([]float32, Stats) {
+	var stats Stats
+	n := int(m.N())
+	dist := make([]float32, n)
+	for i := range dist {
+		dist[i] = InfDist
+	}
+	dist[src] = 0
+	sr := Semiring{
+		Multiply: func(w float32, x any) any { return x.(float32) + w },
+		Add:      func(a, b any) any { return min(a.(float32), b.(float32)) },
+	}
+	x := sparse.NewVector[any](n)
+	x.Set(src, float32(0))
+	for x.NNZ() > 0 {
+		stats.Iterations++
+		y := m.SpMV(x, sr, &stats)
+		next := sparse.NewVector[any](n)
+		y.Iterate(func(v uint32, d any) {
+			if dv := d.(float32); dv < dist[v] {
+				dist[v] = dv
+				next.Set(v, dv)
+			}
+		})
+		x = next
+	}
+	return dist, stats
+}
+
+// DefaultSpGEMMCap bounds the materialized SpGEMM intermediate (entries).
+// ~128M map entries is multiple GB — past it CombBLAS would be swapping or
+// dead on the paper's 64 GB box scaled to this one.
+const DefaultSpGEMMCap = int64(128 << 20)
+
+// Triangles counts triangles of an upper-triangular DAG via masked SpGEMM.
+// The adjacency is taken as a CSR because the product A·A iterates rows; cap
+// bounds the materialized intermediate (<=0 uses DefaultSpGEMMCap). The
+// error reports the out-of-memory condition of Figure 4c.
+func Triangles(a *sparse.CSR[float32], cap int64) (int64, Stats, error) {
+	if cap <= 0 {
+		cap = DefaultSpGEMMCap
+	}
+	var stats Stats
+	stats.Iterations = 1
+	count, err := SpGEMMMaskedCount(a, cap, &stats)
+	return count, stats, err
+}
+
+// CFLatentDim matches the GraphMat implementation's K.
+const CFLatentDim = 20
+
+// CF runs gradient descent without destination-vertex access: every sweep
+// materializes per-edge copies of both endpoint factor vectors (two gather
+// passes), computes per-edge gradients into a third nnz-sized buffer, and
+// reduces them per destination — the data movement that makes CombBLAS's CF
+// 4.7× slower in Figure 4d. The ratings graph must be symmetrized (both
+// directions present), given as a CSR.
+func CF(g *sparse.CSR[float32], gamma, lambda float32, iters int, init func(v, k int) float32) ([][CFLatentDim]float32, Stats) {
+	var stats Stats
+	n := int(g.NRows)
+	nnz := g.NNZ()
+	factors := make([][CFLatentDim]float32, n)
+	for v := 0; v < n; v++ {
+		for k := 0; k < CFLatentDim; k++ {
+			factors[v][k] = init(v, k)
+		}
+	}
+	// The nnz-sized materialization buffers.
+	edgeSrc := make([][CFLatentDim]float32, nnz)
+	edgeDst := make([][CFLatentDim]float32, nnz)
+	edgeGrad := make([][CFLatentDim]float32, nnz)
+
+	for it := 0; it < iters; it++ {
+		stats.Iterations++
+		// Pass 1: materialize the source-side vectors per edge.
+		for v := uint32(0); v < uint32(n); v++ {
+			lo, hi := g.RowPtr[v], g.RowPtr[v+1]
+			for e := lo; e < hi; e++ {
+				edgeSrc[e] = factors[g.ColIdx[e]]
+			}
+		}
+		// Pass 2: materialize the destination-side vectors per edge.
+		for v := uint32(0); v < uint32(n); v++ {
+			lo, hi := g.RowPtr[v], g.RowPtr[v+1]
+			for e := lo; e < hi; e++ {
+				edgeDst[e] = factors[v]
+			}
+		}
+		// Pass 3: per-edge gradient.
+		for e := 0; e < nnz; e++ {
+			var dot float32
+			for k := 0; k < CFLatentDim; k++ {
+				dot += edgeSrc[e][k] * edgeDst[e][k]
+			}
+			errv := g.Val[e] - dot
+			for k := 0; k < CFLatentDim; k++ {
+				edgeGrad[e][k] = errv * edgeSrc[e][k]
+			}
+			stats.Multiplies++
+		}
+		// Pass 4: reduce per destination and step.
+		for v := uint32(0); v < uint32(n); v++ {
+			lo, hi := g.RowPtr[v], g.RowPtr[v+1]
+			if lo == hi {
+				continue
+			}
+			var grad [CFLatentDim]float32
+			for e := lo; e < hi; e++ {
+				for k := 0; k < CFLatentDim; k++ {
+					grad[k] += edgeGrad[e][k]
+				}
+				stats.Adds++
+			}
+			for k := 0; k < CFLatentDim; k++ {
+				factors[v][k] += gamma * (grad[k] - lambda*factors[v][k])
+			}
+		}
+	}
+	return factors, stats
+}

@@ -1,0 +1,171 @@
+package native
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"graphmat/internal/gen"
+	"graphmat/internal/reference"
+	"graphmat/internal/sparse"
+)
+
+func prepared(seed uint64, scale, ef, maxW int) *sparse.COO[float32] {
+	c := gen.RMAT(gen.RMATOptions{Scale: scale, EdgeFactor: ef, Seed: seed, MaxWeight: maxW})
+	c.RemoveSelfLoops()
+	c.SortRowMajor()
+	c.DedupKeepFirst()
+	return c
+}
+
+func symmetrized(seed uint64, scale, ef int) *sparse.COO[float32] {
+	c := prepared(seed, scale, ef, 0)
+	c.Symmetrize()
+	return c
+}
+
+func TestNativePageRank(t *testing.T) {
+	coo := prepared(1, 8, 8, 0)
+	refEdges := append([]sparse.Triple[float32](nil), coo.Entries...)
+	g := Build(coo)
+	got := PageRank(g, 0.15, 20, 2)
+	want := reference.PageRank(g.N, refEdges, 0.15, 20)
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-9 {
+			t.Fatalf("rank[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestNativeBFS(t *testing.T) {
+	coo := symmetrized(2, 8, 8)
+	refEdges := append([]sparse.Triple[float32](nil), coo.Entries...)
+	g := Build(coo)
+	got := BFS(g, 0, 2)
+	want := reference.BFS(g.N, refEdges, 0)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestNativeBFSBottomUpTrigger(t *testing.T) {
+	// A dense-ish small-diameter graph forces the bottom-up switch: a star
+	// plus ring. Frontier after level 1 covers almost everything.
+	n := uint32(4096)
+	coo := sparse.NewCOO[float32](n, n)
+	for v := uint32(1); v < n; v++ {
+		coo.Add(0, v, 1)
+		coo.Add(v, 0, 1)
+	}
+	coo.SortRowMajor()
+	refEdges := append([]sparse.Triple[float32](nil), coo.Entries...)
+	g := Build(coo)
+	got := BFS(g, 1, 2)
+	want := reference.BFS(n, refEdges, 1)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestNativeSSSP(t *testing.T) {
+	coo := prepared(3, 8, 8, 10)
+	refEdges := append([]sparse.Triple[float32](nil), coo.Entries...)
+	g := Build(coo)
+	got := SSSP(g, 0, 2)
+	want := reference.SSSP(g.N, refEdges, 0)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("dist[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestNativeTriangles(t *testing.T) {
+	coo := gen.RMAT(gen.RMATOptions{Scale: 8, EdgeFactor: 8, Seed: 4, Params: gen.RMATTriangle})
+	coo.RemoveSelfLoops()
+	coo.SortRowMajor()
+	coo.DedupKeepFirst()
+	coo.Symmetrize()
+	coo.UpperTriangle()
+	refEdges := append([]sparse.Triple[float32](nil), coo.Entries...)
+	g := Build(coo)
+	got := Triangles(g, 2)
+	want := reference.Triangles(g.N, refEdges)
+	if got != want {
+		t.Fatalf("triangles = %d, want %d", got, want)
+	}
+}
+
+func TestNativeCFLossDecreases(t *testing.T) {
+	ratings := gen.Bipartite(gen.BipartiteOptions{Users: 300, Items: 40, Ratings: 5000, Seed: 7})
+	ratings.SortRowMajor()
+	ratings.DedupKeepFirst()
+	ratingEdges := append([]sparse.Triple[float32](nil), ratings.Entries...)
+	ratings.Symmetrize()
+	g := Build(ratings)
+
+	rng := gen.NewRNG(1)
+	inits := make([]float32, int(g.N)*CFLatentDim)
+	for i := range inits {
+		inits[i] = float32(rng.Float64()) * 0.1
+	}
+	init := func(v, k int) float32 { return inits[v*CFLatentDim+k] }
+
+	prev := math.Inf(1)
+	for _, iters := range []int{1, 4, 8} {
+		f := CF(g, 0.002, 0.05, iters, 2, init)
+		ff := make([][]float32, len(f))
+		for i := range f {
+			ff[i] = f[i][:]
+		}
+		loss := reference.CFLoss(ratingEdges, ff, 0.05)
+		if loss >= prev || math.IsNaN(loss) {
+			t.Fatalf("loss did not decrease: %v -> %v", prev, loss)
+		}
+		prev = loss
+	}
+}
+
+// Property: native SSSP equals Dijkstra across random graphs.
+func TestQuickNativeSSSP(t *testing.T) {
+	f := func(seed uint64) bool {
+		coo := prepared(seed, 6, 4, 8)
+		refEdges := append([]sparse.Triple[float32](nil), coo.Entries...)
+		g := Build(coo)
+		got := SSSP(g, 0, 2)
+		want := reference.SSSP(g.N, refEdges, 0)
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: native BFS equals reference BFS on symmetric graphs.
+func TestQuickNativeBFS(t *testing.T) {
+	f := func(seed uint64) bool {
+		coo := symmetrized(seed, 6, 4)
+		refEdges := append([]sparse.Triple[float32](nil), coo.Entries...)
+		g := Build(coo)
+		got := BFS(g, 0, 2)
+		want := reference.BFS(g.N, refEdges, 0)
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,51 @@
+package native
+
+// CFSGD is the stochastic-gradient-descent variant of collaborative
+// filtering — what the native code of [27] actually ran, per the paper's
+// Table 3 discussion: "the native performance results from [27] are for
+// Stochastic Gradient Descent (SGD) as opposed to Gradient Descent (GD) for
+// GraphMat, and GD is more easily parallelizable than SGD."
+//
+// SGD updates both endpoint vectors after *every* rating, so parallel
+// workers race on shared vectors. The standard native recipe is Hogwild-
+// style lock-free sharding: workers own disjoint user ranges and update item
+// vectors unsynchronized (benign races accepted). That data dependence is
+// exactly why the paper's GD-based GraphMat CF beats the SGD native baseline
+// (the 0.73× row of Table 3): SGD serializes where GD streams.
+//
+// The ratings graph is used in its user→item orientation only: g.Out rows of
+// user vertices. iters counts full passes over the ratings.
+func CFSGD(g *Graph, users uint32, gamma, lambda float32, iters, nthreads int, init func(v, k int) float32) [][CFLatentDim]float32 {
+	nthreads = threads(nthreads)
+	n := int(g.N)
+	f := make([][CFLatentDim]float32, n)
+	for v := 0; v < n; v++ {
+		for k := 0; k < CFLatentDim; k++ {
+			f[v][k] = init(v, k)
+		}
+	}
+	for it := 0; it < iters; it++ {
+		parallelRanges(int(users), nthreads, func(lo, hi, _ int) {
+			for u := lo; u < hi; u++ {
+				items, ratings := g.Out.Row(uint32(u))
+				pu := &f[u]
+				for j, v := range items {
+					pv := &f[v]
+					var dot float32
+					for k := 0; k < CFLatentDim; k++ {
+						dot += pu[k] * pv[k]
+					}
+					e := ratings[j] - dot
+					// Immediate update of *both* endpoints — the SGD data
+					// dependence (Hogwild on the item side).
+					for k := 0; k < CFLatentDim; k++ {
+						puk, pvk := pu[k], pv[k]
+						pu[k] += gamma * (e*pvk - lambda*puk)
+						pv[k] += gamma * (e*puk - lambda*pvk)
+					}
+				}
+			}
+		})
+	}
+	return f
+}

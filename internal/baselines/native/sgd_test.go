@@ -1,0 +1,107 @@
+package native
+
+import (
+	"math"
+	"testing"
+
+	"graphmat/internal/gen"
+	"graphmat/internal/reference"
+	"graphmat/internal/sparse"
+)
+
+func cfFixture(t *testing.T) (*Graph, uint32, []sparse.Triple[float32], func(v, k int) float32) {
+	t.Helper()
+	const users = 300
+	ratings := gen.Bipartite(gen.BipartiteOptions{Users: users, Items: 40, Ratings: 5000, Seed: 7})
+	ratings.SortRowMajor()
+	ratings.DedupKeepFirst()
+	ratingEdges := append([]sparse.Triple[float32](nil), ratings.Entries...)
+	// SGD uses the user→item orientation directly (no symmetrization).
+	g := Build(ratings)
+	rng := gen.NewRNG(1)
+	inits := make([]float32, int(g.N)*CFLatentDim)
+	for i := range inits {
+		inits[i] = float32(rng.Float64()) * 0.1
+	}
+	return g, users, ratingEdges, func(v, k int) float32 { return inits[v*CFLatentDim+k] }
+}
+
+func TestCFSGDLossDecreases(t *testing.T) {
+	g, users, ratingEdges, init := cfFixture(t)
+	prev := math.Inf(1)
+	for _, iters := range []int{1, 3, 6} {
+		f := CFSGD(g, users, 0.005, 0.05, iters, 1, init)
+		ff := make([][]float32, len(f))
+		for i := range f {
+			ff[i] = f[i][:]
+		}
+		loss := reference.CFLoss(ratingEdges, ff, 0.05)
+		if math.IsNaN(loss) || loss >= prev {
+			t.Fatalf("SGD loss did not decrease: %v -> %v at %d passes", prev, loss, iters)
+		}
+		prev = loss
+	}
+}
+
+func TestCFSGDConvergesFasterPerPassThanGD(t *testing.T) {
+	// The paper's Table 3 footnote rests on SGD vs GD trade-offs: SGD makes
+	// more progress per pass (it updates within the pass) while GD
+	// parallelizes better. Verify the per-pass progress half of that.
+	g, users, ratingEdges, init := cfFixture(t)
+	const passes = 3
+
+	fsgd := CFSGD(g, users, 0.005, 0.05, passes, 1, init)
+
+	// GD needs the symmetrized orientation.
+	sym := sparse.NewCOO[float32](g.N, g.N)
+	for _, e := range ratingEdges {
+		sym.Add(e.Row, e.Col, e.Val)
+	}
+	sym.SortRowMajor()
+	sym.Symmetrize()
+	gdGraph := Build(sym)
+	fgd := CF(gdGraph, 0.005, 0.05, passes, 1, init)
+
+	loss := func(f [][CFLatentDim]float32) float64 {
+		ff := make([][]float32, len(f))
+		for i := range f {
+			ff[i] = f[i][:]
+		}
+		return reference.CFLoss(ratingEdges, ff, 0.05)
+	}
+	if loss(fsgd) >= loss(fgd) {
+		t.Errorf("SGD (%v) should beat GD (%v) per pass at equal step size", loss(fsgd), loss(fgd))
+	}
+}
+
+func TestCFSGDDeterministicSingleThread(t *testing.T) {
+	g, users, _, init := cfFixture(t)
+	a := CFSGD(g, users, 0.005, 0.05, 4, 1, init)
+	b := CFSGD(g, users, 0.005, 0.05, 4, 1, init)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("single-thread SGD nondeterministic at vertex %d", v)
+		}
+	}
+}
+
+func TestCFSGDParallelStillConverges(t *testing.T) {
+	// Hogwild-style races must not destroy convergence.
+	g, users, ratingEdges, init := cfFixture(t)
+	f := CFSGD(g, users, 0.005, 0.05, 6, 4, init)
+	ff := make([][]float32, len(f))
+	for i := range f {
+		ff[i] = f[i][:]
+	}
+	loss := reference.CFLoss(ratingEdges, ff, 0.05)
+
+	z := make([][]float32, len(f))
+	zero := make([]float32, CFLatentDim)
+	for i := range z {
+		z[i] = zero
+	}
+	baseline := reference.CFLoss(ratingEdges, z, 0.05)
+	if loss >= baseline {
+		t.Errorf("parallel SGD loss %v no better than zero-factor baseline %v", loss, baseline)
+	}
+}

@@ -1,0 +1,205 @@
+package taskengine
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"graphmat/internal/gen"
+	"graphmat/internal/reference"
+	"graphmat/internal/sparse"
+)
+
+func prepared(seed uint64, scale, ef, maxW int) *sparse.COO[float32] {
+	c := gen.RMAT(gen.RMATOptions{Scale: scale, EdgeFactor: ef, Seed: seed, MaxWeight: maxW})
+	c.RemoveSelfLoops()
+	c.SortRowMajor()
+	c.DedupKeepFirst()
+	return c
+}
+
+func TestWorklistProcessesEverything(t *testing.T) {
+	// Push each vertex once; each op marks its vertex. All must be marked,
+	// across thread counts.
+	for _, nthreads := range []int{1, 2, 4} {
+		n := 10000
+		seen := make([]atomic.Int32, n)
+		initial := make([]uint32, n)
+		for i := range initial {
+			initial[i] = uint32(i)
+		}
+		stats := Run(initial, nthreads, func(v uint32, _ func(uint32)) {
+			seen[v].Add(1)
+		})
+		for i := range seen {
+			if seen[i].Load() != 1 {
+				t.Fatalf("threads=%d: vertex %d processed %d times", nthreads, i, seen[i].Load())
+			}
+		}
+		if stats.Tasks != int64(n) {
+			t.Errorf("threads=%d: Tasks = %d, want %d", nthreads, stats.Tasks, n)
+		}
+	}
+}
+
+func TestWorklistPushes(t *testing.T) {
+	// Chain: task v pushes v+1 until 5000.
+	var count atomic.Int64
+	stats := Run([]uint32{0}, 2, func(v uint32, push func(uint32)) {
+		count.Add(1)
+		if v+1 < 5000 {
+			push(v + 1)
+		}
+	})
+	if count.Load() != 5000 {
+		t.Errorf("executed %d tasks, want 5000", count.Load())
+	}
+	if stats.Pushes != 4999 {
+		t.Errorf("Pushes = %d, want 4999", stats.Pushes)
+	}
+}
+
+func TestRunPriorityOrdering(t *testing.T) {
+	// Tasks record the bucket sequence; priorities must be non-decreasing
+	// at completion-of-bucket granularity. Seed priority 0 pushes into
+	// buckets 2 and 1; bucket 1 must drain before bucket 2.
+	var order []int
+	stats := RunPriority([]uint32{0}, 0, 1, func(v uint32, push func(uint32, int)) {
+		switch v {
+		case 0:
+			order = append(order, 0)
+			push(100, 2)
+			push(50, 1)
+		case 50:
+			order = append(order, 1)
+		case 100:
+			order = append(order, 2)
+		}
+	})
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Errorf("bucket order = %v", order)
+	}
+	if stats.Rounds != 3 {
+		t.Errorf("Rounds = %d, want 3", stats.Rounds)
+	}
+}
+
+func TestTaskPageRank(t *testing.T) {
+	coo := prepared(1, 7, 8, 0)
+	refEdges := append([]sparse.Triple[float32](nil), coo.Entries...)
+	g := Build(coo)
+	got, _ := PageRank(g, 0.15, 15, 2)
+	want := reference.PageRank(g.N, refEdges, 0.15, 15)
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-9 {
+			t.Fatalf("rank[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestTaskBFS(t *testing.T) {
+	coo := prepared(2, 7, 8, 0)
+	coo.Symmetrize()
+	refEdges := append([]sparse.Triple[float32](nil), coo.Entries...)
+	g := Build(coo)
+	got, _ := BFS(g, 0, 2)
+	want := reference.BFS(g.N, refEdges, 0)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestTaskSSSP(t *testing.T) {
+	coo := prepared(3, 7, 8, 10)
+	refEdges := append([]sparse.Triple[float32](nil), coo.Entries...)
+	g := Build(coo)
+	got, _ := SSSP(g, 0, 4, 2)
+	want := reference.SSSP(g.N, refEdges, 0)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("dist[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestTaskTriangles(t *testing.T) {
+	coo := gen.RMAT(gen.RMATOptions{Scale: 7, EdgeFactor: 8, Seed: 4, Params: gen.RMATTriangle})
+	coo.RemoveSelfLoops()
+	coo.SortRowMajor()
+	coo.DedupKeepFirst()
+	coo.Symmetrize()
+	coo.UpperTriangle()
+	refEdges := append([]sparse.Triple[float32](nil), coo.Entries...)
+	g := Build(coo)
+	got, _ := Triangles(g, 2)
+	want := reference.Triangles(g.N, refEdges)
+	if got != want {
+		t.Fatalf("triangles = %d, want %d", got, want)
+	}
+}
+
+func TestTaskCFLossDecreases(t *testing.T) {
+	ratings := gen.Bipartite(gen.BipartiteOptions{Users: 200, Items: 30, Ratings: 3000, Seed: 7})
+	ratings.SortRowMajor()
+	ratings.DedupKeepFirst()
+	ratingEdges := append([]sparse.Triple[float32](nil), ratings.Entries...)
+	ratings.Symmetrize()
+	g := Build(ratings)
+
+	rng := gen.NewRNG(1)
+	inits := make([]float32, int(g.N)*CFLatentDim)
+	for i := range inits {
+		inits[i] = float32(rng.Float64()) * 0.1
+	}
+	init := func(v, k int) float32 { return inits[v*CFLatentDim+k] }
+
+	prev := math.Inf(1)
+	for _, iters := range []int{1, 4, 8} {
+		f, _ := CF(g, 0.002, 0.05, iters, 2, init)
+		ff := make([][]float32, len(f))
+		for i := range f {
+			ff[i] = f[i][:]
+		}
+		loss := reference.CFLoss(ratingEdges, ff, 0.05)
+		if loss >= prev || math.IsNaN(loss) {
+			t.Fatalf("loss did not decrease: %v -> %v", prev, loss)
+		}
+		prev = loss
+	}
+}
+
+// Property: async BFS and delta-stepping SSSP agree with references across
+// seeds and thread counts (exercises worklist races).
+func TestQuickTaskTraversals(t *testing.T) {
+	f := func(seed uint64, threadsRaw uint8) bool {
+		nthreads := int(threadsRaw%4) + 1
+		coo := prepared(seed, 6, 4, 8)
+		refEdges := append([]sparse.Triple[float32](nil), coo.Entries...)
+		g := Build(coo)
+		gotS, _ := SSSP(g, 0, 3, nthreads)
+		wantS := reference.SSSP(g.N, refEdges, 0)
+		for v := range wantS {
+			if gotS[v] != wantS[v] {
+				return false
+			}
+		}
+		sym := prepared(seed, 6, 4, 0)
+		sym.Symmetrize()
+		symEdges := append([]sparse.Triple[float32](nil), sym.Entries...)
+		g2 := Build(sym)
+		gotB, _ := BFS(g2, 0, nthreads)
+		wantB := reference.BFS(g2.N, symEdges, 0)
+		for v := range wantB {
+			if gotB[v] != wantB[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,71 @@
+package taskengine
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunPriorityClampsPastPriorities(t *testing.T) {
+	// A task in bucket 2 pushing priority 0 must run in the *current*
+	// bucket (priorities never go backwards — delta-stepping semantics).
+	var ranLate atomic.Bool
+	RunPriority([]uint32{10}, 2, 1, func(v uint32, push func(uint32, int)) {
+		switch v {
+		case 10:
+			push(20, 0) // clamped to bucket 2
+		case 20:
+			ranLate.Store(true)
+		}
+	})
+	if !ranLate.Load() {
+		t.Error("clamped task never ran")
+	}
+}
+
+func TestRunPriorityReentrantBucket(t *testing.T) {
+	// Tasks pushed into the *current* bucket must drain before advancing:
+	// a chain of same-priority pushes.
+	var count atomic.Int64
+	stats := RunPriority([]uint32{0}, 0, 2, func(v uint32, push func(uint32, int)) {
+		count.Add(1)
+		if v+1 < 1000 {
+			push(v+1, 0)
+		}
+	})
+	if count.Load() != 1000 {
+		t.Errorf("ran %d tasks, want 1000", count.Load())
+	}
+	if stats.Rounds != 1 {
+		t.Errorf("Rounds = %d, want 1 (all work in one bucket)", stats.Rounds)
+	}
+}
+
+func TestRunPrioritySparseBuckets(t *testing.T) {
+	// Priorities with gaps: buckets visited in ascending order regardless.
+	var order []uint32
+	RunPriority([]uint32{1}, 5, 1, func(v uint32, push func(uint32, int)) {
+		order = append(order, v)
+		if v == 1 {
+			push(3, 100)
+			push(2, 7)
+		}
+	})
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestRunEmptyInitial(t *testing.T) {
+	stats := Run(nil, 2, func(uint32, func(uint32)) {
+		t.Error("op called with no tasks")
+	})
+	if stats.Tasks != 0 {
+		t.Errorf("Tasks = %d", stats.Tasks)
+	}
+	stats = RunPriority(nil, 0, 2, func(uint32, func(uint32, int)) {
+		t.Error("op called with no tasks")
+	})
+	if stats.Tasks != 0 {
+		t.Errorf("priority Tasks = %d", stats.Tasks)
+	}
+}

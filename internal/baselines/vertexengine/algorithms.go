@@ -1,0 +1,318 @@
+package vertexengine
+
+import (
+	"math"
+	"sort"
+)
+
+// The paper's five algorithms written as GAS programs. Data types mirror
+// what a GraphLab user would write; everything crosses the engine boundary
+// boxed.
+
+// --- PageRank ---
+
+type prData struct {
+	rank   float64
+	invDeg float64
+}
+
+type pageRankProg struct{ restart float64 }
+
+func (pageRankProg) GatherEdges() EdgeSet { return InEdges }
+
+func (pageRankProg) Gather(_ uint32, _ any, _ uint32, otherData any, _ float32) any {
+	od := otherData.(prData)
+	if od.invDeg == 0 {
+		return nil
+	}
+	return od.rank * od.invDeg
+}
+
+func (pageRankProg) Sum(a, b any) any { return a.(float64) + b.(float64) }
+
+func (p pageRankProg) Apply(_ uint32, data any, gathered any) any {
+	d := data.(prData)
+	if gathered != nil {
+		d.rank = p.restart + (1-p.restart)*gathered.(float64)
+	}
+	return d
+}
+
+func (pageRankProg) ScatterEdges() EdgeSet { return NoEdges }
+
+func (pageRankProg) Scatter(_ uint32, _ any, _ uint32, _ any, _ float32) bool { return false }
+
+// PageRank runs the fixed-iteration GAS PageRank and returns ranks plus
+// engine stats. The engine must have been built on the directed graph.
+func PageRank(e *Engine, restart float64, iters, nthreads int) ([]float64, Stats) {
+	outDeg := make([]float64, e.n)
+	for v := uint32(0); v < e.n; v++ {
+		outDeg[v] = float64(len(e.out[v]))
+	}
+	e.Init(func(v uint32) any {
+		d := prData{rank: 1}
+		if outDeg[v] > 0 {
+			d.invDeg = 1 / outDeg[v]
+		}
+		return d
+	})
+	stats := e.Run(pageRankProg{restart: restart}, iters, nthreads, true)
+	ranks := make([]float64, e.n)
+	for v := uint32(0); v < e.n; v++ {
+		ranks[v] = e.Data(v).(prData).rank
+	}
+	return ranks, stats
+}
+
+// --- BFS ---
+
+const unreached = uint32(math.MaxUint32)
+
+type bfsProg struct{}
+
+func (bfsProg) GatherEdges() EdgeSet { return InEdges }
+
+func (bfsProg) Gather(_ uint32, _ any, _ uint32, otherData any, _ float32) any {
+	od := otherData.(uint32)
+	if od == unreached {
+		return nil
+	}
+	return od + 1
+}
+
+func (bfsProg) Sum(a, b any) any { return min(a.(uint32), b.(uint32)) }
+
+func (bfsProg) Apply(_ uint32, data any, gathered any) any {
+	d := data.(uint32)
+	if gathered != nil {
+		if g := gathered.(uint32); g < d {
+			return g
+		}
+	}
+	return d
+}
+
+func (bfsProg) ScatterEdges() EdgeSet { return OutEdges }
+
+func (bfsProg) Scatter(_ uint32, newData any, _ uint32, otherData any, _ float32) bool {
+	return otherData.(uint32) > newData.(uint32)+1
+}
+
+// BFS runs signal-driven GAS BFS from root; the engine should hold a
+// symmetric graph (the paper's BFS preprocessing).
+func BFS(e *Engine, root uint32, nthreads int) ([]uint32, Stats) {
+	e.Init(func(v uint32) any {
+		if v == root {
+			return uint32(0)
+		}
+		return unreached
+	})
+	e.active.Reset()
+	e.Signal(root)
+	stats := e.Run(bfsProg{}, 0, nthreads, false)
+	dist := make([]uint32, e.n)
+	for v := uint32(0); v < e.n; v++ {
+		dist[v] = e.Data(v).(uint32)
+	}
+	return dist, stats
+}
+
+// --- SSSP ---
+
+const infDist = float32(math.MaxFloat32)
+
+type ssspProg struct{}
+
+func (ssspProg) GatherEdges() EdgeSet { return InEdges }
+
+func (ssspProg) Gather(_ uint32, _ any, _ uint32, otherData any, w float32) any {
+	od := otherData.(float32)
+	if od == infDist {
+		return nil
+	}
+	return od + w
+}
+
+func (ssspProg) Sum(a, b any) any { return min(a.(float32), b.(float32)) }
+
+func (ssspProg) Apply(_ uint32, data any, gathered any) any {
+	d := data.(float32)
+	if gathered != nil {
+		if g := gathered.(float32); g < d {
+			return g
+		}
+	}
+	return d
+}
+
+func (ssspProg) ScatterEdges() EdgeSet { return OutEdges }
+
+func (ssspProg) Scatter(_ uint32, newData any, _ uint32, otherData any, w float32) bool {
+	return otherData.(float32) > newData.(float32)+w
+}
+
+// SSSP runs signal-driven GAS shortest paths from src on the directed
+// weighted graph.
+func SSSP(e *Engine, src uint32, nthreads int) ([]float32, Stats) {
+	e.Init(func(v uint32) any {
+		if v == src {
+			return float32(0)
+		}
+		return infDist
+	})
+	e.active.Reset()
+	e.Signal(src)
+	stats := e.Run(ssspProg{}, 0, nthreads, false)
+	dist := make([]float32, e.n)
+	for v := uint32(0); v < e.n; v++ {
+		dist[v] = e.Data(v).(float32)
+	}
+	return dist, stats
+}
+
+// --- Triangle counting ---
+
+// tcData carries the phase-1 neighbor collection: the sorted in-neighbor
+// list and GraphLab's hash-set acceleration structure (the paper credits
+// GraphLab's TC showing to its cuckoo-hash sets; Go's map plays that role).
+type tcData struct {
+	nbrs  []uint32
+	set   map[uint32]struct{}
+	count int64
+}
+
+type tcCollect struct{}
+
+func (tcCollect) GatherEdges() EdgeSet { return InEdges }
+func (tcCollect) Gather(_ uint32, _ any, other uint32, _ any, _ float32) any {
+	return []uint32{other}
+}
+func (tcCollect) Sum(a, b any) any { return append(a.([]uint32), b.([]uint32)...) }
+func (tcCollect) Apply(_ uint32, _ any, gathered any) any {
+	d := tcData{}
+	if gathered != nil {
+		d.nbrs = gathered.([]uint32)
+		sort.Slice(d.nbrs, func(i, j int) bool { return d.nbrs[i] < d.nbrs[j] })
+		d.set = make(map[uint32]struct{}, len(d.nbrs))
+		for _, u := range d.nbrs {
+			d.set[u] = struct{}{}
+		}
+	}
+	return d
+}
+func (tcCollect) ScatterEdges() EdgeSet                                    { return NoEdges }
+func (tcCollect) Scatter(_ uint32, _ any, _ uint32, _ any, _ float32) bool { return false }
+
+type tcCount struct{}
+
+func (tcCount) GatherEdges() EdgeSet { return InEdges }
+func (tcCount) Gather(_ uint32, selfData any, _ uint32, otherData any, _ float32) any {
+	sd := selfData.(tcData)
+	od := otherData.(tcData)
+	var c int64
+	for _, u := range od.nbrs {
+		if _, ok := sd.set[u]; ok {
+			c++
+		}
+	}
+	return c
+}
+func (tcCount) Sum(a, b any) any { return a.(int64) + b.(int64) }
+func (tcCount) Apply(_ uint32, data any, gathered any) any {
+	d := data.(tcData)
+	if gathered != nil {
+		d.count = gathered.(int64)
+	}
+	return d
+}
+func (tcCount) ScatterEdges() EdgeSet                                    { return NoEdges }
+func (tcCount) Scatter(_ uint32, _ any, _ uint32, _ any, _ float32) bool { return false }
+
+// Triangles counts triangles on an upper-triangular DAG using the two-phase
+// GAS pipeline.
+func Triangles(e *Engine, nthreads int) (int64, Stats) {
+	e.Init(func(uint32) any { return tcData{} })
+	e.active.Reset()
+	e.SignalAll()
+	stats := e.Run(tcCollect{}, 1, nthreads, false)
+	e.active.Reset()
+	e.SignalAll()
+	s2 := e.Run(tcCount{}, 1, nthreads, false)
+	stats.Supersteps += s2.Supersteps
+	stats.Gathers += s2.Gathers
+	stats.Applies += s2.Applies
+	stats.Scatters += s2.Scatters
+	var total int64
+	for v := uint32(0); v < e.n; v++ {
+		total += e.Data(v).(tcData).count
+	}
+	return total, stats
+}
+
+// --- Collaborative filtering ---
+
+// CFLatentDim matches the GraphMat implementation's K.
+const CFLatentDim = 20
+
+type cfProg struct {
+	gamma, lambda float32
+}
+
+func (cfProg) GatherEdges() EdgeSet { return InEdges }
+
+func (cfProg) Gather(_ uint32, selfData any, _ uint32, otherData any, rating float32) any {
+	pv := selfData.([]float32)
+	pu := otherData.([]float32)
+	var dot float32
+	for k := 0; k < CFLatentDim; k++ {
+		dot += pu[k] * pv[k]
+	}
+	e := rating - dot
+	grad := make([]float32, CFLatentDim)
+	for k := 0; k < CFLatentDim; k++ {
+		grad[k] = e * pu[k]
+	}
+	return grad
+}
+
+func (cfProg) Sum(a, b any) any {
+	ga, gb := a.([]float32), b.([]float32)
+	for k := range ga {
+		ga[k] += gb[k]
+	}
+	return ga
+}
+
+func (p cfProg) Apply(_ uint32, data any, gathered any) any {
+	pv := data.([]float32)
+	if gathered == nil {
+		return pv
+	}
+	grad := gathered.([]float32)
+	out := make([]float32, CFLatentDim)
+	for k := 0; k < CFLatentDim; k++ {
+		out[k] = pv[k] + p.gamma*(grad[k]-p.lambda*pv[k])
+	}
+	return out
+}
+
+func (cfProg) ScatterEdges() EdgeSet                                    { return NoEdges }
+func (cfProg) Scatter(_ uint32, _ any, _ uint32, _ any, _ float32) bool { return false }
+
+// CF runs fixed-iteration GAS gradient descent on a symmetrized bipartite
+// ratings graph; init supplies the deterministic factor initialization.
+func CF(e *Engine, gamma, lambda float32, iters, nthreads int, init func(v, k int) float32) ([][]float32, Stats) {
+	e.Init(func(v uint32) any {
+		p := make([]float32, CFLatentDim)
+		for k := 0; k < CFLatentDim; k++ {
+			p[k] = init(int(v), k)
+		}
+		return p
+	})
+	stats := e.Run(cfProg{gamma: gamma, lambda: lambda}, iters, nthreads, true)
+	out := make([][]float32, e.n)
+	for v := uint32(0); v < e.n; v++ {
+		out[v] = e.Data(v).([]float32)
+	}
+	return out, stats
+}

@@ -1,0 +1,142 @@
+package vertexengine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"graphmat/internal/gen"
+	"graphmat/internal/reference"
+	"graphmat/internal/sparse"
+)
+
+func prepared(seed uint64, scale, ef, maxW int) *sparse.COO[float32] {
+	c := gen.RMAT(gen.RMATOptions{Scale: scale, EdgeFactor: ef, Seed: seed, MaxWeight: maxW})
+	c.RemoveSelfLoops()
+	c.SortRowMajor()
+	c.DedupKeepFirst()
+	return c
+}
+
+func TestGASPageRank(t *testing.T) {
+	coo := prepared(1, 7, 8, 0)
+	e := New(coo)
+	got, stats := PageRank(e, 0.15, 15, 2)
+	want := reference.PageRank(coo.NRows, coo.Entries, 0.15, 15)
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-9 {
+			t.Fatalf("rank[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+	if stats.Supersteps != 15 {
+		t.Errorf("Supersteps = %d", stats.Supersteps)
+	}
+	if stats.Gathers == 0 {
+		t.Error("no gathers recorded")
+	}
+}
+
+func TestGASBFS(t *testing.T) {
+	coo := prepared(2, 7, 8, 0)
+	coo.Symmetrize()
+	e := New(coo)
+	got, _ := BFS(e, 0, 2)
+	want := reference.BFS(coo.NRows, coo.Entries, 0)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestGASSSSP(t *testing.T) {
+	coo := prepared(3, 7, 8, 10)
+	e := New(coo)
+	got, _ := SSSP(e, 0, 2)
+	want := reference.SSSP(coo.NRows, coo.Entries, 0)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("dist[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestGASTriangles(t *testing.T) {
+	coo := gen.RMAT(gen.RMATOptions{Scale: 7, EdgeFactor: 8, Seed: 4, Params: gen.RMATTriangle})
+	coo.RemoveSelfLoops()
+	coo.SortRowMajor()
+	coo.DedupKeepFirst()
+	coo.Symmetrize()
+	coo.UpperTriangle()
+	e := New(coo)
+	got, _ := Triangles(e, 2)
+	want := reference.Triangles(coo.NRows, coo.Entries)
+	if got != want {
+		t.Fatalf("triangles = %d, want %d", got, want)
+	}
+}
+
+func TestGASCFLossDecreases(t *testing.T) {
+	ratings := gen.Bipartite(gen.BipartiteOptions{Users: 200, Items: 30, Ratings: 3000, Seed: 7})
+	ratings.SortRowMajor()
+	ratings.DedupKeepFirst()
+	ratingEdges := append([]sparse.Triple[float32](nil), ratings.Entries...)
+	ratings.Symmetrize()
+	e := New(ratings)
+
+	rng := gen.NewRNG(1)
+	inits := make([]float32, int(e.n)*CFLatentDim)
+	for i := range inits {
+		inits[i] = float32(rng.Float64()) * 0.1
+	}
+	init := func(v, k int) float32 { return inits[v*CFLatentDim+k] }
+
+	prev := math.Inf(1)
+	for _, iters := range []int{1, 4, 8} {
+		f, _ := CF(e, 0.002, 0.05, iters, 2, init)
+		loss := reference.CFLoss(ratingEdges, f, 0.05)
+		if loss >= prev || math.IsNaN(loss) {
+			t.Fatalf("loss did not decrease: %v -> %v", prev, loss)
+		}
+		prev = loss
+	}
+}
+
+func TestEngineSignalDrivenTermination(t *testing.T) {
+	// Path graph: BFS from one end must take diameter+1 supersteps and stop.
+	n := uint32(16)
+	coo := sparse.NewCOO[float32](n, n)
+	for v := uint32(0); v+1 < n; v++ {
+		coo.Add(v, v+1, 1)
+		coo.Add(v+1, v, 1)
+	}
+	e := New(coo)
+	dist, stats := BFS(e, 0, 1)
+	for v := uint32(0); v < n; v++ {
+		if dist[v] != v {
+			t.Fatalf("dist[%d] = %d", v, dist[v])
+		}
+	}
+	if stats.Supersteps < int(n-1) {
+		t.Errorf("Supersteps = %d, expected at least %d", stats.Supersteps, n-1)
+	}
+}
+
+// Property: GAS SSSP matches Dijkstra on random weighted graphs.
+func TestQuickGASSSSP(t *testing.T) {
+	f := func(seed uint64) bool {
+		coo := prepared(seed, 6, 4, 8)
+		e := New(coo)
+		got, _ := SSSP(e, 0, 2)
+		want := reference.SSSP(coo.NRows, coo.Entries, 0)
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,96 @@
+package vertexengine
+
+import (
+	"testing"
+
+	"graphmat/internal/sparse"
+)
+
+// degreeProg gathers a unit from every incident edge — exercises the
+// AllEdges gather set.
+type degreeProg struct{ set EdgeSet }
+
+func (p degreeProg) GatherEdges() EdgeSet { return p.set }
+func (degreeProg) Gather(_ uint32, _ any, _ uint32, _ any, _ float32) any {
+	return int64(1)
+}
+func (degreeProg) Sum(a, b any) any { return a.(int64) + b.(int64) }
+func (degreeProg) Apply(_ uint32, _ any, gathered any) any {
+	if gathered == nil {
+		return int64(0)
+	}
+	return gathered
+}
+func (degreeProg) ScatterEdges() EdgeSet                                    { return NoEdges }
+func (degreeProg) Scatter(_ uint32, _ any, _ uint32, _ any, _ float32) bool { return false }
+
+func diamondGraph() *sparse.COO[float32] {
+	c := sparse.NewCOO[float32](4, 4)
+	c.Add(0, 1, 1)
+	c.Add(0, 2, 1)
+	c.Add(1, 3, 1)
+	c.Add(2, 3, 1)
+	return c
+}
+
+func TestGatherEdgeSets(t *testing.T) {
+	cases := []struct {
+		set  EdgeSet
+		want []int64
+	}{
+		{InEdges, []int64{0, 1, 1, 2}},  // in-degrees
+		{OutEdges, []int64{2, 1, 1, 0}}, // out-degrees
+		{AllEdges, []int64{2, 2, 2, 2}}, // total degrees
+		{NoEdges, []int64{0, 0, 0, 0}},
+	}
+	for _, c := range cases {
+		e := New(diamondGraph())
+		e.Init(func(uint32) any { return int64(0) })
+		e.SignalAll()
+		e.Run(degreeProg{set: c.set}, 1, 2, false)
+		for v, want := range c.want {
+			if got := e.Data(uint32(v)).(int64); got != want {
+				t.Errorf("set %v: degree[%d] = %d, want %d", c.set, v, got, want)
+			}
+		}
+	}
+}
+
+func TestReactivateAllRunsFixedSupersteps(t *testing.T) {
+	e := New(diamondGraph())
+	e.Init(func(uint32) any { return int64(0) })
+	// No vertex ever signals, but reactivateAll keeps every superstep full.
+	stats := e.Run(degreeProg{set: InEdges}, 7, 2, true)
+	if stats.Supersteps != 7 {
+		t.Errorf("Supersteps = %d, want 7", stats.Supersteps)
+	}
+	if stats.Applies != 7*4 {
+		t.Errorf("Applies = %d, want 28", stats.Applies)
+	}
+}
+
+func TestSignalDrivenStopsWithoutSignals(t *testing.T) {
+	e := New(diamondGraph())
+	e.Init(func(uint32) any { return int64(0) })
+	e.SignalAll()
+	stats := e.Run(degreeProg{set: InEdges}, 0, 1, false)
+	if stats.Supersteps != 1 {
+		t.Errorf("Supersteps = %d, want 1 (no scatter, no signals)", stats.Supersteps)
+	}
+}
+
+func TestEngineStatsTallies(t *testing.T) {
+	e := New(diamondGraph())
+	e.Init(func(uint32) any { return int64(0) })
+	e.SignalAll()
+	stats := e.Run(degreeProg{set: InEdges}, 1, 1, false)
+	if stats.Gathers != 4 { // one gather per in-edge
+		t.Errorf("Gathers = %d, want 4", stats.Gathers)
+	}
+	if stats.Applies != 4 {
+		t.Errorf("Applies = %d, want 4", stats.Applies)
+	}
+	if stats.Scatters != 0 || stats.Signals != 0 {
+		t.Errorf("Scatters/Signals = %d/%d, want 0/0", stats.Scatters, stats.Signals)
+	}
+}

@@ -1,0 +1,20 @@
+package bench
+
+import (
+	"graphmat"
+	"graphmat/algorithms"
+)
+
+// prVertexAlias keeps the Figure 7 graph declaration readable.
+type prVertexAlias = algorithms.PRVertex
+
+// runPageRankAblation executes one fixed-iteration PageRank under an
+// explicit engine configuration (the Figure 7 steps).
+func runPageRankAblation(g *graphmat.Graph[algorithms.PRVertex, float32], iters int, cfg graphmat.Config) {
+	algorithms.PageRank(g, algorithms.PageRankOptions{MaxIterations: iters, Config: cfg})
+}
+
+// runSSSPAblation executes one SSSP under an explicit engine configuration.
+func runSSSPAblation(g *graphmat.Graph[float32, float32], root uint32, cfg graphmat.Config) {
+	algorithms.SSSP(g, root, cfg)
+}

@@ -1,0 +1,181 @@
+// Package bench is the harness that regenerates every table and figure of
+// the paper's evaluation (§5): the Table 1 dataset inventory, the Figure 4
+// runtime comparisons, the Table 2 speedup summary, the Table 3
+// GraphMat-vs-native comparison, the Figure 5 scalability curves, the
+// Figure 6 performance-counter proxies and the Figure 7 optimization
+// ablation.
+package bench
+
+import (
+	"fmt"
+
+	"graphmat/internal/gen"
+	"graphmat/internal/sparse"
+)
+
+// DatasetKind selects the generator standing in for a dataset class.
+type DatasetKind int
+
+const (
+	// KindRMAT is a Graph500 RMAT graph (synthetic datasets, and the
+	// stand-in for scraped social/web graphs, matched on skew and average
+	// degree).
+	KindRMAT DatasetKind = iota
+	// KindGrid is a 2-D grid (road-network stand-in: near-planar, tiny
+	// degree, huge diameter).
+	KindGrid
+	// KindBipartite is a power-law bipartite ratings graph (Netflix-like).
+	KindBipartite
+)
+
+// Dataset is one Table 1 row: the paper's dataset and the scaled stand-in
+// this reproduction generates for it (DESIGN.md §3 documents the
+// substitution rationale).
+type Dataset struct {
+	// Name is the paper's dataset name.
+	Name string
+	// PaperVertices/PaperEdges are the sizes reported in Table 1.
+	PaperVertices, PaperEdges int64
+	// Algorithms lists the paper experiments this dataset appears in.
+	Algorithms string
+
+	Kind   DatasetKind
+	Seed   uint64
+	Omit   bool // skip in "all" runs (the huge synthetic CF graph)
+	scale  int  // RMAT scale
+	ef     int  // RMAT edge factor
+	params gen.RMATParams
+	maxW   int // edge weight range (SSSP datasets)
+
+	gw, gh uint32 // grid dims
+	users  uint32 // bipartite
+	items  uint32
+	rat    int
+}
+
+// scaled applies the shift (positive: double per step toward paper scale;
+// negative: halve per step for quick runs) with a floor.
+func scaled(base uint32, shift int, floor uint32) uint32 {
+	v := base
+	if shift >= 0 {
+		v = base << shift
+	} else {
+		v = base >> uint(-shift)
+	}
+	if v < floor {
+		v = floor
+	}
+	return v
+}
+
+// Generate produces the stand-in edge list. shift adds to the RMAT scale and
+// scales grid/bipartite sizes by 2^shift (shift 0 = the defaults used in
+// EXPERIMENTS.md; positive values approach paper scale on bigger machines,
+// negative values shrink everything for smoke tests).
+func (d Dataset) Generate(shift int) *sparse.COO[float32] {
+	switch d.Kind {
+	case KindGrid:
+		return gen.Grid(gen.GridOptions{
+			Width: scaled(d.gw, shift, 16), Height: scaled(d.gh, shift, 16),
+			MaxWeight: d.maxW, Seed: d.Seed,
+		})
+	case KindBipartite:
+		return gen.Bipartite(gen.BipartiteOptions{
+			Users: scaled(d.users, shift, 64), Items: scaled(d.items, shift, 16),
+			Ratings: int(scaled(uint32(d.rat), 2*shift, 1024)), Seed: d.Seed,
+		})
+	default:
+		scale := d.scale + shift
+		if scale < 6 {
+			scale = 6
+		}
+		return gen.RMAT(gen.RMATOptions{
+			Scale: scale, EdgeFactor: d.ef, Params: d.params,
+			Seed: d.Seed, MaxWeight: d.maxW,
+		})
+	}
+}
+
+// StandInDesc describes the generated stand-in at a given shift.
+func (d Dataset) StandInDesc(shift int) string {
+	switch d.Kind {
+	case KindGrid:
+		return fmt.Sprintf("grid %dx%d maxW=%d", scaled(d.gw, shift, 16), scaled(d.gh, shift, 16), d.maxW)
+	case KindBipartite:
+		return fmt.Sprintf("bipartite %du/%di %d ratings",
+			scaled(d.users, shift, 64), scaled(d.items, shift, 16), int(scaled(uint32(d.rat), 2*shift, 1024)))
+	default:
+		scale := d.scale + shift
+		if scale < 6 {
+			scale = 6
+		}
+		return fmt.Sprintf("RMAT scale=%d ef=%d A=%.2f B=C=%.2f", scale, d.ef, d.params.A, d.params.B)
+	}
+}
+
+// Datasets returns the Table 1 inventory. Stand-in sizes default to a
+// laptop-class budget; raise shift to approach paper scale.
+func Datasets() []Dataset {
+	return []Dataset{
+		{
+			Name: "RMAT Scale 20", PaperVertices: 1_048_576, PaperEdges: 16_746_179,
+			Algorithms: "TC",
+			Kind:       KindRMAT, Seed: 120, scale: 14, ef: 16, params: gen.RMATTriangle,
+		},
+		{
+			Name: "RMAT Scale 23", PaperVertices: 8_388_608, PaperEdges: 134_215_380,
+			Algorithms: "PR,BFS,SSSP",
+			Kind:       KindRMAT, Seed: 123, scale: 17, ef: 16, params: gen.RMATGraph500, maxW: 100,
+		},
+		{
+			Name: "RMAT Scale 24", PaperVertices: 16_777_216, PaperEdges: 267_167_794,
+			Algorithms: "SSSP",
+			Kind:       KindRMAT, Seed: 124, scale: 18, ef: 16, params: gen.RMATSSSP24, maxW: 100,
+		},
+		{
+			Name: "LiveJournal", PaperVertices: 4_847_571, PaperEdges: 68_993_773,
+			Algorithms: "PR,BFS,TC",
+			Kind:       KindRMAT, Seed: 201, scale: 16, ef: 14, params: gen.RMATGraph500,
+		},
+		{
+			Name: "Facebook", PaperVertices: 2_937_612, PaperEdges: 41_919_708,
+			Algorithms: "PR,BFS,TC",
+			Kind:       KindRMAT, Seed: 202, scale: 15, ef: 14, params: gen.RMATGraph500,
+		},
+		{
+			Name: "Wikipedia", PaperVertices: 3_566_908, PaperEdges: 84_751_827,
+			Algorithms: "PR,BFS,TC",
+			Kind:       KindRMAT, Seed: 203, scale: 16, ef: 24, params: gen.RMATGraph500,
+		},
+		{
+			Name: "Netflix", PaperVertices: 480_189 + 17_770, PaperEdges: 99_072_112,
+			Algorithms: "CF",
+			Kind:       KindBipartite, Seed: 204, users: 20000, items: 1000, rat: 400_000,
+		},
+		{
+			Name: "Synthetic CF", PaperVertices: 63_367_472 + 1_342_176, PaperEdges: 16_742_847_256,
+			Algorithms: "CF",
+			Kind:       KindBipartite, Seed: 205, users: 40000, items: 1500, rat: 800_000,
+		},
+		{
+			Name: "Flickr", PaperVertices: 820_878, PaperEdges: 9_837_214,
+			Algorithms: "SSSP",
+			Kind:       KindRMAT, Seed: 206, scale: 15, ef: 12, params: gen.RMATGraph500, maxW: 100,
+		},
+		{
+			Name: "USA road (CAL)", PaperVertices: 1_890_815, PaperEdges: 4_657_742,
+			Algorithms: "SSSP",
+			Kind:       KindGrid, Seed: 207, gw: 384, gh: 256, maxW: 10,
+		},
+	}
+}
+
+// DatasetByName finds a dataset in the inventory.
+func DatasetByName(name string) (Dataset, bool) {
+	for _, d := range Datasets() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Dataset{}, false
+}

@@ -1,0 +1,174 @@
+// Package bitvec provides a dense bitvector used throughout GraphMat for
+// sparse-vector occupancy masks and active-vertex sets (paper §4.4.2).
+//
+// The representation is a []uint64 word array. All single-bit operations are
+// available in both plain and atomic flavors: the engine uses plain writes
+// when a partition owns a disjoint index range and atomic writes when many
+// goroutines may set bits concurrently (e.g. marking vertices active during
+// Apply).
+package bitvec
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+const (
+	wordShift = 6
+	wordMask  = 63
+)
+
+// Vector is a fixed-length dense bitvector. The zero value is an empty,
+// zero-length vector; use New to size one.
+type Vector struct {
+	words []uint64
+	n     int
+}
+
+// New returns a Vector of n bits, all clear.
+func New(n int) *Vector {
+	return &Vector{words: make([]uint64, (n+wordMask)>>wordShift), n: n}
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Set sets bit i. It is not safe for concurrent use with other writers of the
+// same word; use SetAtomic for that.
+func (v *Vector) Set(i uint32) {
+	v.words[i>>wordShift] |= 1 << (i & wordMask)
+}
+
+// Clear clears bit i.
+func (v *Vector) Clear(i uint32) {
+	v.words[i>>wordShift] &^= 1 << (i & wordMask)
+}
+
+// Get reports whether bit i is set.
+func (v *Vector) Get(i uint32) bool {
+	return v.words[i>>wordShift]&(1<<(i&wordMask)) != 0
+}
+
+// SetAtomic sets bit i with a compare-and-swap loop, safe for concurrent
+// writers. It reports whether this call changed the bit (false if it was
+// already set), which lets callers deduplicate concurrent activations.
+func (v *Vector) SetAtomic(i uint32) bool {
+	w := &v.words[i>>wordShift]
+	mask := uint64(1) << (i & wordMask)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(w, old, old|mask) {
+			return true
+		}
+	}
+}
+
+// GetAtomic reports whether bit i is set using an atomic load.
+func (v *Vector) GetAtomic(i uint32) bool {
+	return atomic.LoadUint64(&v.words[i>>wordShift])&(1<<(i&wordMask)) != 0
+}
+
+// Reset clears every bit.
+func (v *Vector) Reset() {
+	clear(v.words)
+}
+
+// Count returns the number of set bits.
+func (v *Vector) Count() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether at least one bit is set.
+func (v *Vector) Any() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Iterate calls fn for each set bit in ascending order.
+func (v *Vector) Iterate(fn func(i uint32)) {
+	for wi, w := range v.words {
+		base := uint32(wi) << wordShift
+		for w != 0 {
+			fn(base + uint32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+}
+
+// IterateRange calls fn for each set bit i with lo <= i < hi, ascending.
+func (v *Vector) IterateRange(lo, hi uint32, fn func(i uint32)) {
+	if lo >= hi {
+		return
+	}
+	first := int(lo >> wordShift)
+	last := int((hi - 1) >> wordShift)
+	for wi := first; wi <= last && wi < len(v.words); wi++ {
+		w := v.words[wi]
+		base := uint32(wi) << wordShift
+		if wi == first {
+			w &= ^uint64(0) << (lo & wordMask)
+		}
+		if wi == last && hi&wordMask != 0 {
+			w &= (1 << (hi & wordMask)) - 1
+		}
+		for w != 0 {
+			fn(base + uint32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+}
+
+// NextSet returns the index of the first set bit >= i, and ok=false if there
+// is none.
+func (v *Vector) NextSet(i uint32) (uint32, bool) {
+	if int(i) >= v.n {
+		return 0, false
+	}
+	wi := int(i >> wordShift)
+	w := v.words[wi] & (^uint64(0) << (i & wordMask))
+	for {
+		if w != 0 {
+			return uint32(wi)<<wordShift + uint32(bits.TrailingZeros64(w)), true
+		}
+		wi++
+		if wi >= len(v.words) {
+			return 0, false
+		}
+		w = v.words[wi]
+	}
+}
+
+// CopyFrom copies the contents of src into v. The vectors must have the same
+// length.
+func (v *Vector) CopyFrom(src *Vector) {
+	copy(v.words, src.words)
+}
+
+// Or sets v to the bitwise OR of v and other. Lengths must match.
+func (v *Vector) Or(other *Vector) {
+	for i := range v.words {
+		v.words[i] |= other.words[i]
+	}
+}
+
+// CountRange returns the number of set bits i with lo <= i < hi.
+func (v *Vector) CountRange(lo, hi uint32) int {
+	c := 0
+	v.IterateRange(lo, hi, func(uint32) { c++ })
+	return c
+}
+
+// Words exposes the underlying word slice for read-only word-at-a-time scans
+// (used by the SpMV inner loop to skip empty regions quickly).
+func (v *Vector) Words() []uint64 { return v.words }

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"math"
+
+	"graphmat/internal/graph"
+	"graphmat/internal/sparse"
+)
+
+// This file is the deliberately *unoptimized* execution path: the Figure 7
+// ablation's pre-"+ipo" code. Every message, edge value and reduced value is
+// boxed into an interface{}, user callbacks are reached through interface
+// method calls, and the SpMV traverses partitions through an interface —
+// none of it can inline, and scalar payloads allocate. This recreates what
+// the paper's naive scalar build looks like before inter-procedural
+// optimization, against the *same* graph structures, so the measured deltas
+// isolate dispatch cost.
+
+// boxedPartition lets the boxed kernel walk a DCSC partition without being
+// specialized to the edge type.
+type boxedPartition interface {
+	numColumns() int
+	column(ci int) (col uint32, lo, hi int)
+	edge(k int) (dst uint32, val any)
+	rowRange() (lo, hi uint32)
+}
+
+type boxedDCSC[E any] struct{ part *sparse.DCSC[E] }
+
+func (b boxedDCSC[E]) numColumns() int { return len(b.part.JC) }
+func (b boxedDCSC[E]) column(ci int) (uint32, int, int) {
+	return b.part.JC[ci], int(b.part.CP[ci]), int(b.part.CP[ci+1])
+}
+func (b boxedDCSC[E]) edge(k int) (uint32, any)   { return b.part.IR[k], b.part.Val[k] }
+func (b boxedDCSC[E]) rowRange() (uint32, uint32) { return b.part.RowLo, b.part.RowHi }
+
+func boxPartitions[E any](parts []*sparse.DCSC[E]) []boxedPartition {
+	out := make([]boxedPartition, len(parts))
+	for i, p := range parts {
+		out[i] = boxedDCSC[E]{part: p}
+	}
+	return out
+}
+
+// boxedProgram is the dispatch-erased view of a Program.
+type boxedProgram interface {
+	send(v VertexID) (any, bool)
+	process(m, e any, dst VertexID) any
+	reduce(a, b any) any
+	apply(r any, v VertexID) bool
+}
+
+type boxedAdapter[V, E, M, R any] struct {
+	p     Program[V, E, M, R]
+	props []V
+}
+
+func (a *boxedAdapter[V, E, M, R]) send(v VertexID) (any, bool) {
+	m, ok := a.p.SendMessage(v, a.props[v])
+	return m, ok
+}
+
+func (a *boxedAdapter[V, E, M, R]) process(m, e any, dst VertexID) any {
+	return a.p.ProcessMessage(m.(M), e.(E), a.props[dst])
+}
+
+func (a *boxedAdapter[V, E, M, R]) reduce(x, y any) any {
+	return a.p.Reduce(x.(R), y.(R))
+}
+
+func (a *boxedAdapter[V, E, M, R]) apply(r any, v VertexID) bool {
+	return a.p.Apply(r.(R), v, &a.props[v])
+}
+
+func spmvBoxedBitvec(part boxedPartition, x *sparse.Vector[any], bp boxedProgram, y *sparse.Vector[any], st *localStats) {
+	n := part.numColumns()
+	edges := int64(0)
+	for ci := 0; ci < n; ci++ {
+		j, lo, hi := part.column(ci)
+		if !x.Has(j) {
+			continue
+		}
+		m := x.Get(j)
+		edges += int64(hi - lo)
+		for k := lo; k < hi; k++ {
+			dst, e := part.edge(k)
+			r := bp.process(m, e, dst)
+			if y.Has(dst) {
+				y.Set(dst, bp.reduce(y.Get(dst), r))
+			} else {
+				y.Set(dst, r)
+			}
+		}
+	}
+	st.probes += int64(n)
+	st.edges += edges
+}
+
+func spmvBoxedSorted(part boxedPartition, xs *sparse.SortedVector[any], bp boxedProgram, y *sparse.Vector[any], st *localStats) {
+	n := part.numColumns()
+	edges := int64(0)
+	for ci := 0; ci < n; ci++ {
+		j, lo, hi := part.column(ci)
+		if !xs.Has(j) {
+			continue
+		}
+		m := xs.Get(j)
+		edges += int64(hi - lo)
+		for k := lo; k < hi; k++ {
+			dst, e := part.edge(k)
+			r := bp.process(m, e, dst)
+			if y.Has(dst) {
+				y.Set(dst, bp.reduce(y.Get(dst), r))
+			} else {
+				y.Set(dst, r)
+			}
+		}
+	}
+	st.probes += int64(n)
+	st.edges += edges
+}
+
+func runBoxed[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, cfg Config) Stats {
+	n := int(g.NumVertices())
+	active := g.Active()
+	dir := p.Direction()
+	bp := &boxedAdapter[V, E, M, R]{p: p, props: g.Props()}
+
+	var outParts, inParts []boxedPartition
+	if dir&graph.Out != 0 {
+		outParts = boxPartitions(g.OutPartitions())
+	}
+	if dir&graph.In != 0 {
+		inParts = boxPartitions(g.InPartitions())
+	}
+
+	var x *sparse.Vector[any]
+	var xs *sparse.SortedVector[any]
+	if cfg.Vector == Bitvector {
+		x = sparse.NewVector[any](n)
+	} else {
+		xs = sparse.NewSortedVector[any](n)
+	}
+	y := sparse.NewVector[any](n)
+
+	chunks := chunkBounds(n, cfg.Threads*4)
+	nchunks := len(chunks) - 1
+	locals := make([]localStats, cfg.Threads)
+	var sortedRuns [][]sparse.Entry[any]
+	if xs != nil {
+		sortedRuns = make([][]sparse.Entry[any], nchunks)
+	}
+
+	maxIter := cfg.MaxIterations
+	if maxIter <= 0 {
+		maxIter = math.MaxInt
+	}
+
+	var stats Stats
+	for iter := 0; iter < maxIter; iter++ {
+		stats.ActiveSum += int64(active.Count())
+		stats.Iterations++
+
+		if x != nil {
+			x.Reset()
+			parallelFor(cfg.Threads, nchunks, cfg.Schedule, func(c, w int) {
+				st := &locals[w]
+				active.IterateRange(chunks[c], chunks[c+1], func(v uint32) {
+					if m, ok := bp.send(v); ok {
+						x.Set(v, m)
+						st.sent++
+					}
+				})
+			})
+		} else {
+			xs.Reset()
+			parallelFor(cfg.Threads, nchunks, cfg.Schedule, func(c, w int) {
+				st := &locals[w]
+				var run []sparse.Entry[any]
+				active.IterateRange(chunks[c], chunks[c+1], func(v uint32) {
+					if m, ok := bp.send(v); ok {
+						run = append(run, sparse.Entry[any]{Idx: v, Val: m})
+						st.sent++
+					}
+				})
+				sortedRuns[c] = run
+			})
+			for c := 0; c < nchunks; c++ {
+				for _, e := range sortedRuns[c] {
+					xs.Append(e.Idx, e.Val)
+				}
+				sortedRuns[c] = nil
+			}
+		}
+		sent, _ := stats.absorb(locals)
+		if sent == 0 {
+			break
+		}
+
+		y.Reset()
+		for _, parts := range [][]boxedPartition{outParts, inParts} {
+			if parts == nil {
+				continue
+			}
+			parallelFor(cfg.Threads, len(parts), cfg.Schedule, func(i, w int) {
+				if x != nil {
+					spmvBoxedBitvec(parts[i], x, bp, y, &locals[w])
+				} else {
+					spmvBoxedSorted(parts[i], xs, bp, y, &locals[w])
+				}
+			})
+		}
+
+		active.Reset()
+		parallelFor(cfg.Threads, nchunks, cfg.Schedule, func(c, w int) {
+			st := &locals[w]
+			y.IterateRange(chunks[c], chunks[c+1], func(v uint32, r any) {
+				st.applies++
+				if bp.apply(r, v) {
+					active.Set(v)
+					st.active++
+				}
+			})
+		})
+		_, nactive := stats.absorb(locals)
+		if nactive == 0 {
+			break
+		}
+	}
+	return stats
+}

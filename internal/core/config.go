@@ -1,0 +1,86 @@
+package core
+
+import "runtime"
+
+// VectorKind selects the sparse-vector representation for the message
+// vector (paper §4.4.2 discusses both and measures the bitvector faster).
+type VectorKind int
+
+const (
+	// Bitvector stores messages in a bitvector-masked dense array — the
+	// representation the paper selects.
+	Bitvector VectorKind = iota
+	// Sorted stores messages as a sorted (index, value) tuple array — the
+	// paper's rejected alternative, kept as the Figure 7 "naive" baseline.
+	Sorted
+)
+
+// Dispatch selects how user callbacks are invoked from the SpMV inner loop.
+type Dispatch int
+
+const (
+	// Inlined uses the generic (monomorphized) SpMV: the Go compiler
+	// specializes the kernel per program, inlining the callbacks. This is
+	// the analogue of the paper's -ipo inter-procedural optimization (§4.5
+	// item 2).
+	Inlined Dispatch = iota
+	// Boxed routes every message and result through interface{} values and
+	// func-typed callbacks, preventing inlining — the pre-"+ipo" scalar
+	// code of Figure 7.
+	Boxed
+)
+
+// Schedule selects how matrix partitions are assigned to worker goroutines.
+type Schedule int
+
+const (
+	// Dynamic has workers pull partitions from a shared queue; with many
+	// more partitions than threads this is the paper's load-balancing
+	// recipe (§4.5 item 4).
+	Dynamic Schedule = iota
+	// Static assigns partitions round-robin up front ("the number of graph
+	// partitions equals number of threads" regime of the ablation).
+	Static
+)
+
+// Config controls one engine run. The zero value requests the fully
+// optimized configuration on all available cores.
+type Config struct {
+	// Threads is the number of worker goroutines; 0 means GOMAXPROCS.
+	Threads int
+	// MaxIterations caps the superstep count; <= 0 means run until no
+	// vertex is active (the paper's -1 convention).
+	MaxIterations int
+	// Vector selects the message-vector representation.
+	Vector VectorKind
+	// Dispatch selects inlined or boxed user-callback invocation.
+	Dispatch Dispatch
+	// Schedule selects dynamic or static partition assignment.
+	Schedule Schedule
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threads <= 0 {
+		c.Threads = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Stats reports what one engine run did. The counter fields are exact tallies
+// of engine work, used both for tests and as the software performance-counter
+// proxies behind the Figure 6 reproduction (see internal/counters).
+type Stats struct {
+	// Iterations is the number of supersteps executed.
+	Iterations int
+	// MessagesSent counts SendMessage calls that produced a message.
+	MessagesSent int64
+	// EdgesProcessed counts ProcessMessage calls (edge traversals).
+	EdgesProcessed int64
+	// Applies counts Apply calls (vertices that received a reduced value).
+	Applies int64
+	// ActiveSum is the cumulative size of the active set over supersteps.
+	ActiveSum int64
+	// ColumnsProbed counts message-vector presence probes (Algorithm 1
+	// line 4 executions).
+	ColumnsProbed int64
+}

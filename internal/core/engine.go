@@ -1,0 +1,228 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"graphmat/internal/graph"
+	"graphmat/internal/sparse"
+)
+
+// Run executes program p on graph g until convergence or the configured
+// iteration cap, returning run statistics. It implements Algorithm 2 of the
+// paper: each superstep builds a sparse message vector from the active
+// vertices (SendMessage), multiplies it against the partitioned adjacency
+// structure with the generalized SpMV (ProcessMessage + Reduce, Algorithm 1),
+// applies the reduced values (Apply), and activates the vertices whose state
+// changed. The run mutates g's vertex properties and active set.
+func Run[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, cfg Config) Stats {
+	cfg = cfg.withDefaults()
+	if cfg.Dispatch == Boxed {
+		return runBoxed(g, p, cfg)
+	}
+	ws := NewWorkspace[M, R](int(g.NumVertices()), cfg.Vector)
+	return runTyped(g, p, cfg, ws)
+}
+
+// localStats is one worker's tally, padded to a cache line so workers never
+// share one.
+type localStats struct {
+	sent    int64
+	edges   int64
+	probes  int64
+	applies int64
+	active  int64
+	_       [24]byte
+}
+
+func (s *Stats) absorb(locals []localStats) (sent, active int64) {
+	for i := range locals {
+		s.MessagesSent += locals[i].sent
+		s.EdgesProcessed += locals[i].edges
+		s.ColumnsProbed += locals[i].probes
+		s.Applies += locals[i].applies
+		sent += locals[i].sent
+		active += locals[i].active
+		locals[i] = localStats{}
+	}
+	return sent, active
+}
+
+// chunkBounds splits [0, n) into at most k contiguous chunks whose interior
+// boundaries are 64-aligned, so concurrent writers of chunk-local bitvector
+// ranges never share a word.
+func chunkBounds(n, k int) []uint32 {
+	if k < 1 {
+		k = 1
+	}
+	step := (n + k - 1) / k
+	step = (step + 63) &^ 63
+	if step == 0 {
+		step = 64
+	}
+	bounds := []uint32{0}
+	for b := step; b < n; b += step {
+		bounds = append(bounds, uint32(b))
+	}
+	bounds = append(bounds, uint32(n))
+	return bounds
+}
+
+// parallelFor runs fn(task, worker) over tasks [0, ntasks) on nworkers
+// goroutines. Dynamic scheduling pulls tasks from a shared atomic counter —
+// the paper's load-balancing mode; Static pre-assigns tasks round-robin.
+func parallelFor(nworkers, ntasks int, sched Schedule, fn func(task, worker int)) {
+	if nworkers > ntasks {
+		nworkers = ntasks
+	}
+	if nworkers <= 1 {
+		for i := 0; i < ntasks; i++ {
+			fn(i, 0)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(nworkers)
+	if sched == Dynamic {
+		var next atomic.Int64
+		for w := 0; w < nworkers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1) - 1)
+					if i >= ntasks {
+						return
+					}
+					fn(i, w)
+				}
+			}(w)
+		}
+	} else {
+		for w := 0; w < nworkers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < ntasks; i += nworkers {
+					fn(i, w)
+				}
+			}(w)
+		}
+	}
+	wg.Wait()
+}
+
+func runTyped[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, cfg Config, ws *Workspace[M, R]) Stats {
+	n := int(g.NumVertices())
+	props := g.Props()
+	active := g.Active()
+	dir := p.Direction()
+
+	var outParts, inParts []*sparse.DCSC[E]
+	if dir&graph.Out != 0 {
+		outParts = g.OutPartitions()
+	}
+	if dir&graph.In != 0 {
+		inParts = g.InPartitions()
+	}
+
+	x, xs, y := ws.x, ws.xs, ws.y
+
+	chunks := chunkBounds(n, cfg.Threads*4)
+	nchunks := len(chunks) - 1
+	locals := make([]localStats, cfg.Threads)
+	// Sorted mode gathers per-chunk entry runs and concatenates them in
+	// chunk order, preserving global index order.
+	var sortedRuns [][]sparse.Entry[M]
+	if xs != nil {
+		sortedRuns = make([][]sparse.Entry[M], nchunks)
+	}
+
+	maxIter := cfg.MaxIterations
+	if maxIter <= 0 {
+		maxIter = math.MaxInt
+	}
+
+	var stats Stats
+	for iter := 0; iter < maxIter; iter++ {
+		stats.ActiveSum += int64(active.Count())
+		stats.Iterations++
+
+		// Phase 1: SendMessage over active vertices builds the sparse
+		// message vector (Algorithm 2 lines 3-5).
+		if x != nil {
+			x.Reset()
+			parallelFor(cfg.Threads, nchunks, cfg.Schedule, func(c, w int) {
+				st := &locals[w]
+				active.IterateRange(chunks[c], chunks[c+1], func(v uint32) {
+					if m, ok := p.SendMessage(v, props[v]); ok {
+						x.Set(v, m)
+						st.sent++
+					}
+				})
+			})
+		} else {
+			xs.Reset()
+			parallelFor(cfg.Threads, nchunks, cfg.Schedule, func(c, w int) {
+				st := &locals[w]
+				var run []sparse.Entry[M]
+				active.IterateRange(chunks[c], chunks[c+1], func(v uint32) {
+					if m, ok := p.SendMessage(v, props[v]); ok {
+						run = append(run, sparse.Entry[M]{Idx: v, Val: m})
+						st.sent++
+					}
+				})
+				sortedRuns[c] = run
+			})
+			for c := 0; c < nchunks; c++ {
+				for _, e := range sortedRuns[c] {
+					xs.Append(e.Idx, e.Val)
+				}
+				sortedRuns[c] = nil
+			}
+		}
+		sent, _ := stats.absorb(locals)
+		if sent == 0 {
+			break
+		}
+
+		// Phase 2: generalized SpMV (Algorithm 1). Each partition owns a
+		// disjoint 64-aligned output row range, so no synchronization on y.
+		y.Reset()
+		if outParts != nil {
+			parallelFor(cfg.Threads, len(outParts), cfg.Schedule, func(i, w int) {
+				if x != nil {
+					spmvBitvec(outParts[i], x, props, p, y, &locals[w])
+				} else {
+					spmvSorted(outParts[i], xs, props, p, y, &locals[w])
+				}
+			})
+		}
+		if inParts != nil {
+			parallelFor(cfg.Threads, len(inParts), cfg.Schedule, func(i, w int) {
+				if x != nil {
+					spmvBitvec(inParts[i], x, props, p, y, &locals[w])
+				} else {
+					spmvSorted(inParts[i], xs, props, p, y, &locals[w])
+				}
+			})
+		}
+
+		// Phase 3: Apply and re-activation (Algorithm 2 lines 7-13).
+		active.Reset()
+		parallelFor(cfg.Threads, nchunks, cfg.Schedule, func(c, w int) {
+			st := &locals[w]
+			y.IterateRange(chunks[c], chunks[c+1], func(v uint32, r R) {
+				st.applies++
+				if p.Apply(r, v, &props[v]) {
+					active.Set(v)
+					st.active++
+				}
+			})
+		})
+		_, nactive := stats.absorb(locals)
+		if nactive == 0 {
+			break
+		}
+	}
+	return stats
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+
+	"graphmat/internal/graph"
+	"graphmat/internal/sparse"
+)
+
+// Workspace holds the engine's reusable scratch state: the sparse message
+// vector and the reduction vector. It mirrors the C++ API's
+// graph_program_init / graph_program_clear pair (see the paper's appendix):
+// drivers that run a program repeatedly — PageRank's per-superstep loop, the
+// HITS half-steps — allocate one workspace and pass it to every run instead
+// of paying two vertex-sized allocations per call.
+type Workspace[M, R any] struct {
+	n    int
+	kind VectorKind
+	x    *sparse.Vector[M]
+	xs   *sparse.SortedVector[M]
+	y    *sparse.Vector[R]
+}
+
+// NewWorkspace allocates scratch for graphs of n vertices using the given
+// message-vector representation.
+func NewWorkspace[M, R any](n int, kind VectorKind) *Workspace[M, R] {
+	ws := &Workspace[M, R]{n: n, kind: kind, y: sparse.NewVector[R](n)}
+	if kind == Bitvector {
+		ws.x = sparse.NewVector[M](n)
+	} else {
+		ws.xs = sparse.NewSortedVector[M](n)
+	}
+	return ws
+}
+
+// RunWithWorkspace is Run with caller-managed scratch. The workspace must
+// have been created for the graph's vertex count and the configuration's
+// vector kind; mismatches error. The boxed (naive) dispatch path manages its
+// own type-erased scratch and ignores the workspace.
+func RunWithWorkspace[V, E, M, R any, P Program[V, E, M, R]](
+	g *graph.Graph[V, E], p P, cfg Config, ws *Workspace[M, R],
+) (Stats, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dispatch == Boxed {
+		return runBoxed(g, p, cfg), nil
+	}
+	if ws.n != int(g.NumVertices()) {
+		return Stats{}, fmt.Errorf("core: workspace sized for %d vertices, graph has %d", ws.n, g.NumVertices())
+	}
+	if ws.kind != cfg.Vector {
+		return Stats{}, fmt.Errorf("core: workspace vector kind %d does not match config %d", ws.kind, cfg.Vector)
+	}
+	return runTyped(g, p, cfg, ws), nil
+}

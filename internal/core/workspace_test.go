@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"graphmat/internal/graph"
+)
+
+func TestWorkspaceReuseMatchesFreshRuns(t *testing.T) {
+	ws := NewWorkspace[float32, float32](5, Bitvector)
+	for trial := 0; trial < 3; trial++ {
+		g := fig3Graph(t, graph.Options{Partitions: 2})
+		stats, err := RunWithWorkspace(g, ssspProg{}, Config{Threads: 2}, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []float32{0, 1, 2, 2, 4}
+		for v, d := range want {
+			if g.Prop(uint32(v)) != d {
+				t.Fatalf("trial %d: dist[%d] = %v, want %v", trial, v, g.Prop(uint32(v)), d)
+			}
+		}
+		if stats.Iterations == 0 {
+			t.Fatal("no iterations")
+		}
+	}
+}
+
+func TestWorkspaceMismatchErrors(t *testing.T) {
+	g := fig3Graph(t, graph.Options{})
+	if _, err := RunWithWorkspace(g, ssspProg{}, Config{}, NewWorkspace[float32, float32](3, Bitvector)); err == nil {
+		t.Error("wrong-size workspace accepted")
+	}
+	if _, err := RunWithWorkspace(g, ssspProg{}, Config{Vector: Sorted}, NewWorkspace[float32, float32](5, Bitvector)); err == nil {
+		t.Error("wrong-kind workspace accepted")
+	}
+}
+
+func TestWorkspaceBoxedPathIgnoresWorkspace(t *testing.T) {
+	g := fig3Graph(t, graph.Options{})
+	// Deliberately mismatched workspace: boxed dispatch must not touch it.
+	ws := NewWorkspace[float32, float32](1, Bitvector)
+	if _, err := RunWithWorkspace(g, ssspProg{}, Config{Dispatch: Boxed}, ws); err != nil {
+		t.Fatalf("boxed path rejected workspace it should ignore: %v", err)
+	}
+	if g.Prop(4) != 4 {
+		t.Errorf("dist[E] = %v", g.Prop(4))
+	}
+}
+
+func TestWorkspaceSortedKind(t *testing.T) {
+	g := fig3Graph(t, graph.Options{})
+	ws := NewWorkspace[float32, float32](5, Sorted)
+	if _, err := RunWithWorkspace(g, ssspProg{}, Config{Vector: Sorted}, ws); err != nil {
+		t.Fatal(err)
+	}
+	if g.Prop(4) != 4 {
+		t.Errorf("dist[E] = %v", g.Prop(4))
+	}
+}

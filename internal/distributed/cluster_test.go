@@ -1,0 +1,208 @@
+package distributed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"graphmat/internal/core"
+	"graphmat/internal/gen"
+	"graphmat/internal/graph"
+	"graphmat/internal/reference"
+	"graphmat/internal/sparse"
+)
+
+const inf = float32(math.MaxFloat32)
+
+// ssspProg is the appendix program, unchanged from the single-node engine —
+// the portability claim under test.
+type ssspProg struct{}
+
+func (ssspProg) SendMessage(_ core.VertexID, prop float32) (float32, bool) { return prop, true }
+func (ssspProg) ProcessMessage(m, e float32, _ float32) float32            { return m + e }
+func (ssspProg) Reduce(a, b float32) float32                               { return min(a, b) }
+func (ssspProg) Apply(r float32, _ core.VertexID, prop *float32) bool {
+	if r < *prop {
+		*prop = r
+		return true
+	}
+	return false
+}
+func (ssspProg) Direction() graph.Direction { return graph.Out }
+
+func prepared(seed uint64, scale, ef, maxW int) *sparse.COO[float32] {
+	c := gen.RMAT(gen.RMATOptions{Scale: scale, EdgeFactor: ef, Seed: seed, MaxWeight: maxW})
+	c.RemoveSelfLoops()
+	c.SortRowMajor()
+	c.DedupKeepFirst()
+	return c
+}
+
+func TestClusterSSSPMatchesDijkstra(t *testing.T) {
+	for _, nnodes := range []int{1, 2, 3, 5} {
+		coo := prepared(3, 8, 8, 10)
+		refEdges := append([]sparse.Triple[float32](nil), coo.Entries...)
+		c, err := NewCluster[float32, float32](coo, nnodes, 2, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.InitProps(func(v uint32) float32 {
+			if v == 0 {
+				return 0
+			}
+			return inf
+		})
+		c.SetActive(0)
+		stats, err := Run(c, ssspProg{}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := reference.SSSP(c.NumVertices(), refEdges, 0)
+		for v := uint32(0); v < c.NumVertices(); v++ {
+			if c.Prop(v) != want[v] {
+				t.Fatalf("nodes=%d: dist[%d] = %v, want %v", nnodes, v, c.Prop(v), want[v])
+			}
+		}
+		if stats.Supersteps == 0 || stats.EdgesProcessed == 0 {
+			t.Errorf("nodes=%d: empty stats %+v", nnodes, stats)
+		}
+		if nnodes == 1 && stats.MessagesOnWire != 0 {
+			t.Errorf("single node shipped %d messages", stats.MessagesOnWire)
+		}
+		if nnodes > 1 && stats.MessagesOnWire == 0 {
+			t.Errorf("nodes=%d: no wire traffic recorded", nnodes)
+		}
+	}
+}
+
+func TestClusterOwnership(t *testing.T) {
+	coo := prepared(4, 7, 4, 0)
+	c, err := NewCluster[float32, float32](coo, 4, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d", c.NumNodes())
+	}
+	// Every vertex has exactly one owner and owners tile the id space.
+	prev := -1
+	for v := uint32(0); v < c.NumVertices(); v++ {
+		o := c.Owner(v)
+		if o < prev {
+			t.Fatalf("ownership not monotone at vertex %d", v)
+		}
+		if o < 0 || o >= 4 {
+			t.Fatalf("owner(%d) = %d", v, o)
+		}
+		prev = o
+	}
+}
+
+func TestClusterRejectsBadInput(t *testing.T) {
+	bad := sparse.NewCOO[float32](3, 4)
+	if _, err := NewCluster[int, float32](bad, 2, 1, 4); err == nil {
+		t.Error("non-square adjacency accepted")
+	}
+	coo := prepared(5, 6, 4, 0)
+	c, err := NewCluster[float32, float32](coo, 2, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(c, inDirProg{}, 1); err == nil {
+		t.Error("Direction In program accepted")
+	}
+}
+
+type inDirProg struct{ ssspProg }
+
+func (inDirProg) Direction() graph.Direction { return graph.In }
+
+// Property: the distributed engine agrees with the single-node engine for
+// every node count, and wire traffic grows with node count.
+func TestQuickClusterMatchesSingleNode(t *testing.T) {
+	f := func(seed uint64, nodesRaw uint8) bool {
+		nnodes := int(nodesRaw%6) + 1
+		coo := prepared(seed, 6, 4, 8)
+		single := coo.Clone()
+
+		g, err := graph.NewFromCOO[float32, float32](single, graph.Options{Partitions: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.SetAllProps(inf)
+		g.SetProp(0, 0)
+		g.SetActive(0)
+		core.Run(g, ssspProg{}, core.Config{Threads: 2})
+
+		c, err := NewCluster[float32, float32](coo, nnodes, 2, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.InitProps(func(v uint32) float32 {
+			if v == 0 {
+				return 0
+			}
+			return inf
+		})
+		c.SetActive(0)
+		if _, err := Run(c, ssspProg{}, 0); err != nil {
+			t.Fatal(err)
+		}
+		for v := uint32(0); v < c.NumVertices(); v++ {
+			if c.Prop(v) != g.Prop(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// countProg computes in-degrees (the Figure 1 example) on the cluster.
+type countProg struct{}
+
+func (countProg) SendMessage(_ core.VertexID, _ uint32) (uint32, bool) { return 1, true }
+func (countProg) ProcessMessage(m uint32, _ float32, _ uint32) uint32  { return m }
+func (countProg) Reduce(a, b uint32) uint32                            { return a + b }
+func (countProg) Apply(r uint32, _ core.VertexID, prop *uint32) bool   { *prop = r; return false }
+func (countProg) Direction() graph.Direction                           { return graph.Out }
+
+func TestClusterInDegree(t *testing.T) {
+	coo := prepared(6, 7, 4, 0)
+	want := coo.ColCounts() // in-degree = column counts of (src,dst) triples
+	c, err := NewCluster[uint32, float32](coo, 3, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetAllActive()
+	if _, err := Run(c, countProg{}, 1); err != nil {
+		t.Fatal(err)
+	}
+	for v := uint32(0); v < c.NumVertices(); v++ {
+		if c.Prop(v) != want[v] {
+			t.Fatalf("indeg[%d] = %d, want %d", v, c.Prop(v), want[v])
+		}
+	}
+}
+
+func TestClusterWireTrafficScalesWithNodes(t *testing.T) {
+	traffic := make([]int64, 0, 3)
+	for _, nnodes := range []int{2, 4, 8} {
+		coo := prepared(7, 8, 8, 0)
+		c, err := NewCluster[uint32, float32](coo, nnodes, 1, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetAllActive()
+		stats, err := Run(c, countProg{}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traffic = append(traffic, stats.BytesOnWire)
+	}
+	if !(traffic[0] < traffic[1] && traffic[1] < traffic[2]) {
+		t.Errorf("wire traffic not increasing with node count: %v", traffic)
+	}
+}

@@ -1,0 +1,80 @@
+package gen
+
+import (
+	"math"
+
+	"graphmat/internal/sparse"
+)
+
+// BipartiteOptions configures the synthetic ratings generator used for
+// collaborative filtering. The paper uses "the synthetic bipartite graph
+// generator as described in [27] to generate graphs similar in distribution
+// to the real-world Netflix challenge graph": users and items with power-law
+// popularity, integer ratings.
+type BipartiteOptions struct {
+	Users, Items uint32
+	Ratings      int
+	// ItemSkew is the Zipf exponent of item popularity (Netflix-like
+	// catalogs are heavily skewed). 0 means 0.6.
+	ItemSkew float64
+	// MaxRating is the rating scale (Netflix uses 1..5). 0 means 5.
+	MaxRating int
+	Seed      uint64
+}
+
+// Bipartite generates a ratings graph on Users+Items vertices: user vertices
+// are ids [0, Users), item vertices [Users, Users+Items). Each rating is one
+// directed edge user→item carrying the rating value; graph preprocessing
+// symmetrizes it so factor updates flow both ways (the CF algorithm's
+// bipartite requirement, §5.1).
+func Bipartite(opt BipartiteOptions) *sparse.COO[float32] {
+	if opt.ItemSkew == 0 {
+		opt.ItemSkew = 0.6
+	}
+	if opt.MaxRating == 0 {
+		opt.MaxRating = 5
+	}
+	rng := NewRNG(opt.Seed)
+	n := opt.Users + opt.Items
+	coo := sparse.NewCOO[float32](n, n)
+	coo.Entries = make([]sparse.Triple[float32], 0, opt.Ratings)
+
+	// Zipf sampling over items via inverse-CDF on precomputed cumulative
+	// weights: item k has weight (k+1)^-skew.
+	cum := make([]float64, opt.Items)
+	total := 0.0
+	for k := uint32(0); k < opt.Items; k++ {
+		total += math.Pow(float64(k+1), -opt.ItemSkew)
+		cum[k] = total
+	}
+	sampleItem := func() uint32 {
+		u := rng.Float64() * total
+		lo, hi := 0, len(cum)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo >= len(cum) {
+			lo = len(cum) - 1
+		}
+		return uint32(lo)
+	}
+
+	// Users also get skewed activity: a small fraction of users produce
+	// most ratings, approximated by squaring a uniform draw.
+	for i := 0; i < opt.Ratings; i++ {
+		uu := rng.Float64()
+		user := uint32(uu * uu * float64(opt.Users))
+		if user >= opt.Users {
+			user = opt.Users - 1
+		}
+		item := opt.Users + sampleItem()
+		rating := float32(1 + rng.Intn(opt.MaxRating))
+		coo.Add(user, item, rating)
+	}
+	return coo
+}

@@ -1,0 +1,232 @@
+package gen
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collide %d/100 times", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestRNGUint32n(t *testing.T) {
+	r := NewRNG(1)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		v := r.Uint32n(10)
+		if v >= 10 {
+			t.Fatalf("Uint32n(10) = %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Errorf("value %d drawn %d times, expected ~10000", v, c)
+		}
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v >= 100 || seen[v] {
+			t.Fatalf("invalid permutation at %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRMATBasic(t *testing.T) {
+	g := RMAT(RMATOptions{Scale: 10, EdgeFactor: 8, Seed: 1})
+	if g.NRows != 1024 {
+		t.Fatalf("n = %d", g.NRows)
+	}
+	if len(g.Entries) != 1024*8 {
+		t.Fatalf("m = %d", len(g.Entries))
+	}
+	for _, e := range g.Entries {
+		if e.Row >= 1024 || e.Col >= 1024 {
+			t.Fatal("edge endpoint out of range")
+		}
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a := RMAT(RMATOptions{Scale: 8, EdgeFactor: 4, Seed: 99})
+	b := RMAT(RMATOptions{Scale: 8, EdgeFactor: 4, Seed: 99})
+	if len(a.Entries) != len(b.Entries) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Entries {
+		if a.Entries[i] != b.Entries[i] {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+}
+
+func TestRMATSkew(t *testing.T) {
+	// With A=0.57 the degree distribution must be heavy-tailed: the top 1%
+	// of vertices should hold far more than 1% of the edges.
+	g := RMAT(RMATOptions{Scale: 12, EdgeFactor: 16, Seed: 3, NoPermute: true})
+	deg := make([]int, g.NRows)
+	for _, e := range g.Entries {
+		deg[e.Row]++
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(deg)))
+	top := 0
+	for i := 0; i < len(deg)/100; i++ {
+		top += deg[i]
+	}
+	frac := float64(top) / float64(len(g.Entries))
+	if frac < 0.10 {
+		t.Errorf("top 1%% of vertices hold only %.1f%% of edges; RMAT should be skewed", frac*100)
+	}
+	// An Erdős–Rényi graph of the same size must NOT be that skewed.
+	er := ErdosRenyi(g.NRows, len(g.Entries), 0, 3)
+	deg2 := make([]int, er.NRows)
+	for _, e := range er.Entries {
+		deg2[e.Row]++
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(deg2)))
+	top2 := 0
+	for i := 0; i < len(deg2)/100; i++ {
+		top2 += deg2[i]
+	}
+	frac2 := float64(top2) / float64(len(er.Entries))
+	if frac2 >= frac {
+		t.Errorf("ER graph (%.3f) as skewed as RMAT (%.3f)", frac2, frac)
+	}
+}
+
+func TestRMATWeights(t *testing.T) {
+	g := RMAT(RMATOptions{Scale: 8, EdgeFactor: 8, Seed: 2, MaxWeight: 7})
+	for _, e := range g.Entries {
+		if e.Val < 1 || e.Val > 7 || e.Val != float32(int(e.Val)) {
+			t.Fatalf("weight %v outside [1,7] integers", e.Val)
+		}
+	}
+	g2 := RMAT(RMATOptions{Scale: 8, EdgeFactor: 8, Seed: 2})
+	for _, e := range g2.Entries {
+		if e.Val != 1 {
+			t.Fatalf("unweighted edge has weight %v", e.Val)
+		}
+	}
+}
+
+func TestBipartite(t *testing.T) {
+	g := Bipartite(BipartiteOptions{Users: 1000, Items: 50, Ratings: 20000, Seed: 4})
+	if g.NRows != 1050 {
+		t.Fatalf("n = %d", g.NRows)
+	}
+	if len(g.Entries) != 20000 {
+		t.Fatalf("ratings = %d", len(g.Entries))
+	}
+	itemCounts := make([]int, 50)
+	for _, e := range g.Entries {
+		if e.Row >= 1000 {
+			t.Fatal("rating source is not a user")
+		}
+		if e.Col < 1000 || e.Col >= 1050 {
+			t.Fatal("rating target is not an item")
+		}
+		if e.Val < 1 || e.Val > 5 {
+			t.Fatalf("rating %v outside 1..5", e.Val)
+		}
+		itemCounts[e.Col-1000]++
+	}
+	// Zipf skew: item 0 should be much more popular than item 49.
+	if itemCounts[0] <= itemCounts[49] {
+		t.Errorf("no popularity skew: item0=%d item49=%d", itemCounts[0], itemCounts[49])
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(GridOptions{Width: 10, Height: 5, Seed: 6})
+	if g.NRows != 50 {
+		t.Fatalf("n = %d", g.NRows)
+	}
+	// Horizontal: 9*5, vertical: 10*4, each both directions.
+	want := 2 * (9*5 + 10*4)
+	if len(g.Entries) != want {
+		t.Fatalf("edges = %d, want %d", len(g.Entries), want)
+	}
+	// Symmetric by construction.
+	set := make(map[[2]uint32]float32)
+	for _, e := range g.Entries {
+		set[[2]uint32{e.Row, e.Col}] = e.Val
+	}
+	for k, w := range set {
+		if w2, ok := set[[2]uint32{k[1], k[0]}]; !ok || w2 != w {
+			t.Fatalf("edge %v not mirrored with equal weight", k)
+		}
+	}
+}
+
+func TestGridDiagonal(t *testing.T) {
+	g := Grid(GridOptions{Width: 3, Height: 3, Diagonal: true, Seed: 1})
+	base := 2 * (2*3 + 3*2)
+	diag := 2 * 4
+	if len(g.Entries) != base+diag {
+		t.Fatalf("edges = %d, want %d", len(g.Entries), base+diag)
+	}
+}
+
+// Property: RMAT edge endpoints are always within [0, 2^scale).
+func TestQuickRMATBounds(t *testing.T) {
+	f := func(seed uint64, scaleRaw uint8) bool {
+		scale := int(scaleRaw%6) + 4
+		g := RMAT(RMATOptions{Scale: scale, EdgeFactor: 4, Seed: seed})
+		n := uint32(1) << scale
+		for _, e := range g.Entries {
+			if e.Row >= n || e.Col >= n {
+				return false
+			}
+		}
+		return len(g.Entries) == int(n)*4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the mean degree of an RMAT graph equals the edge factor.
+func TestQuickRMATEdgeFactor(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := RMAT(RMATOptions{Scale: 8, EdgeFactor: 16, Seed: seed})
+		mean := float64(len(g.Entries)) / float64(g.NRows)
+		return math.Abs(mean-16) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,50 @@
+package gen
+
+import "graphmat/internal/sparse"
+
+// GridOptions configures the 2-D grid generator that stands in for the USA
+// road network dataset (§5.1, DIMACS9 CAL). Road networks are nearly planar
+// with tiny degree and enormous diameter; a width×height 4-neighbor grid has
+// exactly those properties, which is what makes SSSP run for many low-work
+// iterations (the regime Figure 4e highlights).
+type GridOptions struct {
+	Width, Height uint32
+	// MaxWeight assigns each edge a uniform integer weight in [1, MaxWeight]
+	// (road segment lengths); 0 means 10.
+	MaxWeight int
+	// Diagonal adds the down-right diagonal neighbor, raising average degree
+	// from ~4 toward the road-network value and breaking grid symmetry.
+	Diagonal bool
+	Seed     uint64
+}
+
+// Grid generates the bidirectional grid graph as adjacency triples
+// (Row = src, Col = dst). Vertex (x, y) has id y*Width+x.
+func Grid(opt GridOptions) *sparse.COO[float32] {
+	if opt.MaxWeight == 0 {
+		opt.MaxWeight = 10
+	}
+	rng := NewRNG(opt.Seed)
+	n := opt.Width * opt.Height
+	coo := sparse.NewCOO[float32](n, n)
+	addBoth := func(a, b uint32) {
+		w := float32(1 + rng.Intn(opt.MaxWeight))
+		coo.Add(a, b, w)
+		coo.Add(b, a, w)
+	}
+	for y := uint32(0); y < opt.Height; y++ {
+		for x := uint32(0); x < opt.Width; x++ {
+			id := y*opt.Width + x
+			if x+1 < opt.Width {
+				addBoth(id, id+1)
+			}
+			if y+1 < opt.Height {
+				addBoth(id, id+opt.Width)
+			}
+			if opt.Diagonal && x+1 < opt.Width && y+1 < opt.Height {
+				addBoth(id, id+opt.Width+1)
+			}
+		}
+	}
+	return coo
+}

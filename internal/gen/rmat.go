@@ -1,0 +1,109 @@
+package gen
+
+import (
+	"graphmat/internal/sparse"
+)
+
+// RMATParams are the recursive-matrix quadrant probabilities of the
+// Graph500 generator [23]. D is implied (1-A-B-C).
+type RMATParams struct {
+	A, B, C float64
+}
+
+// The paper's three RMAT parameter sets (§5.1).
+var (
+	// RMATGraph500 is used for PageRank, BFS and SSSP graphs
+	// ("A = 0.57, B=C= 0.19", following [27]).
+	RMATGraph500 = RMATParams{A: 0.57, B: 0.19, C: 0.19}
+	// RMATTriangle is used for triangle counting
+	// ("A = 0.45, B=C =0.15 for Triangle Counting as in [27]").
+	RMATTriangle = RMATParams{A: 0.45, B: 0.15, C: 0.15}
+	// RMATSSSP24 is the scale-24 SSSP graph's parameter set
+	// ("parameters A=0.50, B=C=0.10 to match with that used in [13, 24]").
+	RMATSSSP24 = RMATParams{A: 0.50, B: 0.10, C: 0.10}
+)
+
+// RMATOptions configures RMAT generation.
+type RMATOptions struct {
+	Scale      int        // vertices = 2^Scale
+	EdgeFactor int        // edges = EdgeFactor * vertices (Graph500 uses 16)
+	Params     RMATParams // quadrant probabilities; zero value means RMATGraph500
+	Seed       uint64
+	// MaxWeight, when > 0, assigns each edge a uniform integer weight in
+	// [1, MaxWeight]; otherwise weight 1.
+	MaxWeight int
+	// NoPermute skips the vertex relabeling pass. Graph500 shuffles vertex
+	// ids so that the heavy vertices are not clustered at low ids; tests use
+	// NoPermute for readability.
+	NoPermute bool
+}
+
+// RMAT generates a directed RMAT graph as adjacency triples (Row = src,
+// Col = dst). Duplicate edges and self-loops are possible, matching the raw
+// Graph500 stream; the dataset preprocessing decides what to do with them
+// (the paper removes self-loops and the graph build deduplicates).
+func RMAT(opt RMATOptions) *sparse.COO[float32] {
+	if opt.Params == (RMATParams{}) {
+		opt.Params = RMATGraph500
+	}
+	if opt.EdgeFactor <= 0 {
+		opt.EdgeFactor = 16
+	}
+	n := uint32(1) << opt.Scale
+	m := int(n) * opt.EdgeFactor
+	rng := NewRNG(opt.Seed)
+	coo := sparse.NewCOO[float32](n, n)
+	coo.Entries = make([]sparse.Triple[float32], 0, m)
+
+	a, b, c := opt.Params.A, opt.Params.B, opt.Params.C
+	ab := a + b
+	abc := a + b + c
+	for i := 0; i < m; i++ {
+		var src, dst uint32
+		for level := 0; level < opt.Scale; level++ {
+			u := rng.Float64()
+			bit := uint32(1) << (opt.Scale - 1 - level)
+			switch {
+			case u < a:
+				// top-left quadrant: no bits set
+			case u < ab:
+				dst |= bit
+			case u < abc:
+				src |= bit
+			default:
+				src |= bit
+				dst |= bit
+			}
+		}
+		w := float32(1)
+		if opt.MaxWeight > 0 {
+			w = float32(1 + rng.Intn(opt.MaxWeight))
+		}
+		coo.Add(src, dst, w)
+	}
+
+	if !opt.NoPermute {
+		perm := rng.Perm(n)
+		for i := range coo.Entries {
+			coo.Entries[i].Row = perm[coo.Entries[i].Row]
+			coo.Entries[i].Col = perm[coo.Entries[i].Col]
+		}
+	}
+	return coo
+}
+
+// ErdosRenyi generates a directed G(n, m) graph with m edges drawn uniformly
+// (duplicates possible), weights uniform in [1, maxWeight] when maxWeight>0.
+func ErdosRenyi(n uint32, m int, maxWeight int, seed uint64) *sparse.COO[float32] {
+	rng := NewRNG(seed)
+	coo := sparse.NewCOO[float32](n, n)
+	coo.Entries = make([]sparse.Triple[float32], 0, m)
+	for i := 0; i < m; i++ {
+		w := float32(1)
+		if maxWeight > 0 {
+			w = float32(1 + rng.Intn(maxWeight))
+		}
+		coo.Add(rng.Uint32n(n), rng.Uint32n(n), w)
+	}
+	return coo
+}

@@ -1,0 +1,226 @@
+// Package graph provides the property graph GraphMat programs run against:
+// a partitioned DCSC adjacency structure (paper §4.4.1), a per-vertex
+// property array, the active-vertex set (§4.3), preprocessing used to prepare
+// the paper's datasets (§5.1), and graph file I/O.
+package graph
+
+import (
+	"fmt"
+	"runtime"
+
+	"graphmat/internal/bitvec"
+	"graphmat/internal/sparse"
+)
+
+// Direction selects which edges SendMessage scatters along (paper §4.1:
+// "SEND_MESSAGE can be called to scatter along in- and/or out- edges").
+type Direction int
+
+const (
+	// Out scatters a vertex's message to the targets of its out-edges
+	// (an SpMV against Gᵀ).
+	Out Direction = 1 << iota
+	// In scatters a vertex's message to the sources of its in-edges
+	// (an SpMV against G).
+	In
+	// Both scatters along out- and in-edges.
+	Both = Out | In
+)
+
+// Options configures graph construction.
+type Options struct {
+	// Partitions is the number of 1-D row partitions of the adjacency
+	// matrix. The paper's load-balancing recipe (§4.5) is "many more
+	// partitions than threads" with dynamic scheduling; 0 means
+	// 8 × GOMAXPROCS.
+	Partitions int
+	// Directions selects which traversal structures to build. Zero means
+	// Out. Building only what an algorithm needs halves memory.
+	Directions Direction
+}
+
+func (o Options) withDefaults() Options {
+	if o.Partitions <= 0 {
+		o.Partitions = 8 * runtime.GOMAXPROCS(0)
+	}
+	if o.Directions == 0 {
+		o.Directions = Out
+	}
+	return o
+}
+
+// Graph is a directed property graph with vertex properties of type V and
+// edge values of type E. It corresponds to Graph<V> in the paper's API
+// (appendix); edge values generalize the int edge weights used there.
+type Graph[V, E any] struct {
+	n uint32
+	m int64
+
+	// fwd holds Gᵀ triples (Row = dst, Col = src), col-major sorted and
+	// deduplicated — the orientation Algorithm 1 iterates. Retained so the
+	// matrix can be repartitioned (the Figure 7 load-balance ablation).
+	fwd *sparse.COO[E]
+	// bwd holds G triples (Row = src, Col = dst); built only when Direction
+	// In is requested.
+	bwd *sparse.COO[E]
+
+	outParts []*sparse.DCSC[E]
+	inParts  []*sparse.DCSC[E]
+
+	props  []V
+	active *bitvec.Vector
+
+	outDeg, inDeg []uint32
+
+	opts Options
+}
+
+// NewFromCOO builds a graph from adjacency triples in the natural
+// orientation: Triple.Row = source, Triple.Col = destination. The input is
+// consumed (sorted and deduplicated in place, keeping the first value of any
+// duplicate edge). Self-loops are preserved; use COO.RemoveSelfLoops first to
+// follow the paper's preprocessing.
+func NewFromCOO[V, E any](adj *sparse.COO[E], opts Options) (*Graph[V, E], error) {
+	if adj.NRows != adj.NCols {
+		return nil, fmt.Errorf("graph: adjacency matrix must be square, got %dx%d", adj.NRows, adj.NCols)
+	}
+	if err := adj.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	g := &Graph[V, E]{n: adj.NRows, opts: opts}
+
+	// Reorient to Gᵀ: row = dst, col = src.
+	adj.Transpose()
+	adj.SortColMajor()
+	adj.DedupKeepFirst()
+	g.fwd = adj
+	g.m = int64(len(adj.Entries))
+
+	g.outDeg = adj.ColCounts()
+	g.inDeg = adj.RowCounts()
+
+	if opts.Directions&Out != 0 {
+		g.outParts = sparse.BuildPartitionedDCSC(g.fwd, opts.Partitions)
+	}
+	if opts.Directions&In != 0 {
+		g.buildBackward()
+	}
+
+	g.props = make([]V, g.n)
+	g.active = bitvec.New(int(g.n))
+	return g, nil
+}
+
+func (g *Graph[V, E]) buildBackward() {
+	g.bwd = g.fwd.Clone()
+	g.bwd.Transpose()
+	g.bwd.SortColMajor()
+	g.inParts = sparse.BuildPartitionedDCSC(g.bwd, g.opts.Partitions)
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph[V, E]) NumVertices() uint32 { return g.n }
+
+// NumEdges returns the number of (deduplicated) directed edges.
+func (g *Graph[V, E]) NumEdges() int64 { return g.m }
+
+// Props exposes the vertex property array; index is the vertex id.
+func (g *Graph[V, E]) Props() []V { return g.props }
+
+// Prop returns vertex v's property.
+func (g *Graph[V, E]) Prop(v uint32) V { return g.props[v] }
+
+// SetProp sets vertex v's property.
+func (g *Graph[V, E]) SetProp(v uint32, p V) { g.props[v] = p }
+
+// SetAllProps sets every vertex property to p (the paper's
+// setAllVertexproperty).
+func (g *Graph[V, E]) SetAllProps(p V) {
+	for i := range g.props {
+		g.props[i] = p
+	}
+}
+
+// InitProps sets each vertex property with a function of the vertex id.
+func (g *Graph[V, E]) InitProps(fn func(v uint32) V) {
+	for i := range g.props {
+		g.props[i] = fn(uint32(i))
+	}
+}
+
+// Active exposes the active-vertex bitvector (paper §4.3: "the set of active
+// vertices is maintained using a boolean array for performance reasons").
+func (g *Graph[V, E]) Active() *bitvec.Vector { return g.active }
+
+// SetActive marks vertex v active for the next superstep.
+func (g *Graph[V, E]) SetActive(v uint32) { g.active.Set(v) }
+
+// SetAllActive marks every vertex active.
+func (g *Graph[V, E]) SetAllActive() {
+	for v := uint32(0); v < g.n; v++ {
+		g.active.Set(v)
+	}
+}
+
+// ClearActive deactivates every vertex.
+func (g *Graph[V, E]) ClearActive() { g.active.Reset() }
+
+// OutDegree returns the out-degree of v.
+func (g *Graph[V, E]) OutDegree(v uint32) uint32 { return g.outDeg[v] }
+
+// InDegree returns the in-degree of v.
+func (g *Graph[V, E]) InDegree(v uint32) uint32 { return g.inDeg[v] }
+
+// OutDegrees returns the out-degree array indexed by vertex.
+func (g *Graph[V, E]) OutDegrees() []uint32 { return g.outDeg }
+
+// InDegrees returns the in-degree array indexed by vertex.
+func (g *Graph[V, E]) InDegrees() []uint32 { return g.inDeg }
+
+// OutPartitions returns the row partitions of Gᵀ (out-edge scatter),
+// building them on first use if the graph was constructed without
+// Direction Out.
+func (g *Graph[V, E]) OutPartitions() []*sparse.DCSC[E] {
+	if g.outParts == nil {
+		g.outParts = sparse.BuildPartitionedDCSC(g.fwd, g.opts.Partitions)
+	}
+	return g.outParts
+}
+
+// InPartitions returns the row partitions of G (in-edge scatter), building
+// them on first use if the graph was constructed without Direction In.
+func (g *Graph[V, E]) InPartitions() []*sparse.DCSC[E] {
+	if g.inParts == nil {
+		g.buildBackward()
+	}
+	return g.inParts
+}
+
+// Partitions returns the current partition count.
+func (g *Graph[V, E]) Partitions() int { return g.opts.Partitions }
+
+// Repartition rebuilds the traversal structures with a new partition count.
+// The Figure 7 ablation uses this to compare partitions=threads (static)
+// against partitions=8×threads (dynamic load balancing).
+func (g *Graph[V, E]) Repartition(nparts int) {
+	if nparts < 1 {
+		nparts = 1
+	}
+	g.opts.Partitions = nparts
+	if g.outParts != nil {
+		g.outParts = sparse.BuildPartitionedDCSC(g.fwd, nparts)
+	}
+	if g.inParts != nil {
+		g.inParts = sparse.BuildPartitionedDCSC(g.bwd, nparts)
+	}
+}
+
+// Adjacency returns a copy of the forward adjacency (Row = src, Col = dst),
+// row-major sorted. Baseline engines use it to build their own structures.
+func (g *Graph[V, E]) Adjacency() *sparse.COO[E] {
+	adj := g.fwd.Clone()
+	adj.Transpose()
+	adj.SortRowMajor()
+	return adj
+}

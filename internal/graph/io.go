@@ -1,0 +1,268 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"graphmat/internal/sparse"
+)
+
+// This file implements the graph interchange formats the paper's tooling
+// consumes: Matrix Market coordinate files (the University of Florida sparse
+// collection format, §5.1) both read and write, whitespace edge lists, and a
+// compact binary format for large generated graphs (the C++ GraphMat release
+// similarly ships an MTX-to-binary converter).
+
+// ReadMTX parses a Matrix Market coordinate file into adjacency triples with
+// Row = source, Col = destination (1-based indices in the file, 0-based in
+// the result). Supported qualifiers: real/integer/pattern values and
+// general/symmetric symmetry; symmetric entries are mirrored. Pattern
+// entries get weight 1.
+func ReadMTX(r io.Reader) (*sparse.COO[float32], error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("mtx: empty input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" || header[2] != "coordinate" {
+		return nil, fmt.Errorf("mtx: unsupported header %q", sc.Text())
+	}
+	valueType, symmetry := header[3], header[4]
+	switch valueType {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("mtx: unsupported value type %q", valueType)
+	}
+	switch symmetry {
+	case "general", "symmetric":
+	default:
+		return nil, fmt.Errorf("mtx: unsupported symmetry %q", symmetry)
+	}
+
+	// Skip comments, read the size line.
+	var nrows, ncols uint64
+	var nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 3 {
+			return nil, fmt.Errorf("mtx: bad size line %q", line)
+		}
+		var err error
+		if nrows, err = strconv.ParseUint(f[0], 10, 32); err != nil {
+			return nil, fmt.Errorf("mtx: bad row count: %v", err)
+		}
+		if ncols, err = strconv.ParseUint(f[1], 10, 32); err != nil {
+			return nil, fmt.Errorf("mtx: bad col count: %v", err)
+		}
+		if nnz, err = strconv.Atoi(f[2]); err != nil {
+			return nil, fmt.Errorf("mtx: bad nnz: %v", err)
+		}
+		break
+	}
+
+	coo := sparse.NewCOO[float32](uint32(nrows), uint32(ncols))
+	coo.Entries = make([]sparse.Triple[float32], 0, nnz)
+	read := 0
+	for sc.Scan() && read < nnz {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return nil, fmt.Errorf("mtx: bad entry %q", line)
+		}
+		i, err := strconv.ParseUint(f[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("mtx: bad row index %q: %v", f[0], err)
+		}
+		j, err := strconv.ParseUint(f[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("mtx: bad col index %q: %v", f[1], err)
+		}
+		if i < 1 || j < 1 || i > nrows || j > ncols {
+			return nil, fmt.Errorf("mtx: entry (%d,%d) out of bounds %dx%d", i, j, nrows, ncols)
+		}
+		w := float32(1)
+		if valueType != "pattern" {
+			if len(f) < 3 {
+				return nil, fmt.Errorf("mtx: missing value in %q", line)
+			}
+			v, err := strconv.ParseFloat(f[2], 32)
+			if err != nil {
+				return nil, fmt.Errorf("mtx: bad value %q: %v", f[2], err)
+			}
+			w = float32(v)
+		}
+		coo.Add(uint32(i-1), uint32(j-1), w)
+		if symmetry == "symmetric" && i != j {
+			coo.Add(uint32(j-1), uint32(i-1), w)
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("mtx: %v", err)
+	}
+	if read != nnz {
+		return nil, fmt.Errorf("mtx: expected %d entries, got %d", nnz, read)
+	}
+	return coo, nil
+}
+
+// WriteMTX writes adjacency triples as a Matrix Market coordinate real
+// general file.
+func WriteMTX(w io.Writer, coo *sparse.COO[float32]) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n%d %d %d\n",
+		coo.NRows, coo.NCols, len(coo.Entries)); err != nil {
+		return err
+	}
+	for _, t := range coo.Entries {
+		if _, err := fmt.Fprintf(bw, "%d %d %g\n", t.Row+1, t.Col+1, t.Val); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses whitespace-separated "src dst [weight]" lines with
+// 0-based vertex ids. Lines starting with '#' or '%' are comments. The vertex
+// count is one more than the maximum id seen, or minVertices if larger.
+func ReadEdgeList(r io.Reader, minVertices uint32) (*sparse.COO[float32], error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	coo := sparse.NewCOO[float32](0, 0)
+	maxID := int64(-1)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return nil, fmt.Errorf("edgelist line %d: need at least src dst", lineno)
+		}
+		src, err := strconv.ParseUint(f[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("edgelist line %d: %v", lineno, err)
+		}
+		dst, err := strconv.ParseUint(f[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("edgelist line %d: %v", lineno, err)
+		}
+		w := float32(1)
+		if len(f) >= 3 {
+			v, err := strconv.ParseFloat(f[2], 32)
+			if err != nil {
+				return nil, fmt.Errorf("edgelist line %d: %v", lineno, err)
+			}
+			w = float32(v)
+		}
+		coo.Add(uint32(src), uint32(dst), w)
+		if int64(src) > maxID {
+			maxID = int64(src)
+		}
+		if int64(dst) > maxID {
+			maxID = int64(dst)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	n := uint32(maxID + 1)
+	if n < minVertices {
+		n = minVertices
+	}
+	coo.NRows, coo.NCols = n, n
+	return coo, nil
+}
+
+const binMagic = "GMATBIN1"
+
+// WriteBinary writes the compact binary format: an 8-byte magic, vertex
+// count, edge count, then (src,dst,weight) little-endian triples.
+func WriteBinary(w io.Writer, coo *sparse.COO[float32]) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binMagic); err != nil {
+		return err
+	}
+	hdr := make([]byte, 12)
+	binary.LittleEndian.PutUint32(hdr[0:4], coo.NRows)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(len(coo.Entries)))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	rec := make([]byte, 12)
+	for _, t := range coo.Entries {
+		binary.LittleEndian.PutUint32(rec[0:4], t.Row)
+		binary.LittleEndian.PutUint32(rec[4:8], t.Col)
+		binary.LittleEndian.PutUint32(rec[8:12], floatBits(t.Val))
+		if _, err := bw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads the format written by WriteBinary.
+func ReadBinary(r io.Reader) (*sparse.COO[float32], error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 8)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("binary graph: %v", err)
+	}
+	if string(magic) != binMagic {
+		return nil, fmt.Errorf("binary graph: bad magic %q", magic)
+	}
+	hdr := make([]byte, 12)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("binary graph: %v", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	m := binary.LittleEndian.Uint64(hdr[4:12])
+	coo := sparse.NewCOO[float32](n, n)
+	coo.Entries = make([]sparse.Triple[float32], m)
+	rec := make([]byte, 12)
+	for i := uint64(0); i < m; i++ {
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return nil, fmt.Errorf("binary graph: truncated at edge %d: %v", i, err)
+		}
+		coo.Entries[i] = sparse.Triple[float32]{
+			Row: binary.LittleEndian.Uint32(rec[0:4]),
+			Col: binary.LittleEndian.Uint32(rec[4:8]),
+			Val: floatFromBits(binary.LittleEndian.Uint32(rec[8:12])),
+		}
+	}
+	return coo, nil
+}
+
+// LoadFile reads a graph file, dispatching on extension: .mtx, .bin, else
+// text edge list.
+func LoadFile(path string) (*sparse.COO[float32], error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch {
+	case strings.HasSuffix(path, ".mtx"):
+		return ReadMTX(f)
+	case strings.HasSuffix(path, ".bin"):
+		return ReadBinary(f)
+	default:
+		return ReadEdgeList(f, 0)
+	}
+}

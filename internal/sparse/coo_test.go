@@ -1,0 +1,179 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func tri(r, c uint32, v int) Triple[int] { return Triple[int]{Row: r, Col: c, Val: v} }
+
+func TestSortColMajor(t *testing.T) {
+	c := NewCOO[int](4, 4)
+	c.Entries = []Triple[int]{tri(3, 1, 1), tri(0, 0, 2), tri(2, 1, 3), tri(1, 0, 4)}
+	c.SortColMajor()
+	want := []Triple[int]{tri(0, 0, 2), tri(1, 0, 4), tri(2, 1, 3), tri(3, 1, 1)}
+	for i := range want {
+		if c.Entries[i] != want[i] {
+			t.Errorf("entry %d = %v, want %v", i, c.Entries[i], want[i])
+		}
+	}
+}
+
+func TestSortRowMajor(t *testing.T) {
+	c := NewCOO[int](4, 4)
+	c.Entries = []Triple[int]{tri(1, 3, 1), tri(0, 2, 2), tri(1, 0, 3), tri(0, 1, 4)}
+	c.SortRowMajor()
+	want := []Triple[int]{tri(0, 1, 4), tri(0, 2, 2), tri(1, 0, 3), tri(1, 3, 1)}
+	for i := range want {
+		if c.Entries[i] != want[i] {
+			t.Errorf("entry %d = %v, want %v", i, c.Entries[i], want[i])
+		}
+	}
+}
+
+func TestDedupSum(t *testing.T) {
+	c := NewCOO[int](4, 4)
+	c.Entries = []Triple[int]{tri(0, 0, 1), tri(0, 0, 2), tri(0, 0, 3), tri(1, 1, 5), tri(2, 0, 7), tri(2, 0, 1)}
+	c.DedupSum(func(a, b int) int { return a + b })
+	want := []Triple[int]{tri(0, 0, 6), tri(1, 1, 5), tri(2, 0, 8)}
+	if len(c.Entries) != len(want) {
+		t.Fatalf("len = %d, want %d", len(c.Entries), len(want))
+	}
+	for i := range want {
+		if c.Entries[i] != want[i] {
+			t.Errorf("entry %d = %v, want %v", i, c.Entries[i], want[i])
+		}
+	}
+}
+
+func TestRemoveSelfLoops(t *testing.T) {
+	c := NewCOO[int](3, 3)
+	c.Entries = []Triple[int]{tri(0, 0, 1), tri(0, 1, 2), tri(1, 1, 3), tri(2, 1, 4), tri(2, 2, 5)}
+	c.RemoveSelfLoops()
+	if len(c.Entries) != 2 {
+		t.Fatalf("len = %d, want 2", len(c.Entries))
+	}
+	for _, e := range c.Entries {
+		if e.Row == e.Col {
+			t.Errorf("self loop %v survived", e)
+		}
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	c := NewCOO[int](4, 4)
+	c.Entries = []Triple[int]{tri(0, 1, 1), tri(1, 0, 9), tri(2, 3, 1)}
+	c.Symmetrize()
+	// Expect edges {0,1},{1,0},{2,3},{3,2}, deduplicated.
+	if len(c.Entries) != 4 {
+		t.Fatalf("len = %d, want 4: %v", len(c.Entries), c.Entries)
+	}
+	has := func(r, cc uint32) bool {
+		for _, e := range c.Entries {
+			if e.Row == r && e.Col == cc {
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range [][2]uint32{{0, 1}, {1, 0}, {2, 3}, {3, 2}} {
+		if !has(p[0], p[1]) {
+			t.Errorf("missing edge %v", p)
+		}
+	}
+}
+
+func TestUpperTriangle(t *testing.T) {
+	c := NewCOO[int](4, 4)
+	c.Entries = []Triple[int]{tri(0, 1, 1), tri(1, 0, 1), tri(2, 2, 1), tri(1, 3, 1)}
+	c.UpperTriangle()
+	if len(c.Entries) != 2 {
+		t.Fatalf("len = %d, want 2", len(c.Entries))
+	}
+	for _, e := range c.Entries {
+		if e.Row >= e.Col {
+			t.Errorf("non-upper entry %v", e)
+		}
+	}
+}
+
+func TestRowColCounts(t *testing.T) {
+	c := NewCOO[int](3, 4)
+	c.Entries = []Triple[int]{tri(0, 1, 1), tri(0, 2, 1), tri(2, 1, 1)}
+	rc := c.RowCounts()
+	if rc[0] != 2 || rc[1] != 0 || rc[2] != 1 {
+		t.Errorf("RowCounts = %v", rc)
+	}
+	cc := c.ColCounts()
+	if cc[0] != 0 || cc[1] != 2 || cc[2] != 1 || cc[3] != 0 {
+		t.Errorf("ColCounts = %v", cc)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := NewCOO[int](2, 2)
+	c.Add(0, 1, 1)
+	if err := c.Validate(); err != nil {
+		t.Errorf("valid COO rejected: %v", err)
+	}
+	c.Add(2, 0, 1)
+	if err := c.Validate(); err == nil {
+		t.Error("out-of-bounds row accepted")
+	}
+}
+
+// Property: Symmetrize yields a matrix equal to its own transpose.
+func TestQuickSymmetrizeIsSymmetric(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := uint32(nRaw%30) + 2
+		r := rand.New(rand.NewSource(seed))
+		c := NewCOO[int](n, n)
+		for i := 0; i < int(n)*3; i++ {
+			c.Add(uint32(r.Intn(int(n))), uint32(r.Intn(int(n))), 1)
+		}
+		c.RemoveSelfLoops()
+		c.SortRowMajor()
+		c.DedupKeepFirst()
+		c.Symmetrize()
+		set := make(map[[2]uint32]bool)
+		for _, e := range c.Entries {
+			set[[2]uint32{e.Row, e.Col}] = true
+		}
+		for k := range set {
+			if !set[[2]uint32{k[1], k[0]}] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transpose twice is the identity.
+func TestQuickTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := NewCOO[int](10, 7)
+		for i := 0; i < 25; i++ {
+			c.Add(uint32(r.Intn(10)), uint32(r.Intn(7)), r.Intn(100))
+		}
+		orig := c.Clone()
+		c.Transpose()
+		c.Transpose()
+		if c.NRows != orig.NRows || c.NCols != orig.NCols {
+			return false
+		}
+		for i := range c.Entries {
+			if c.Entries[i] != orig.Entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

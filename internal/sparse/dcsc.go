@@ -1,0 +1,174 @@
+package sparse
+
+// DCSC is the Doubly Compressed Sparse Column format of Buluç & Gilbert,
+// the matrix representation GraphMat uses (paper §4.4.1). Unlike CSC, the
+// column-pointer array holds entries only for columns that actually contain
+// nonzeros, which keeps hypersparse partitions compact: a 1-D row partition
+// of a scale-free graph touches only a fraction of all columns.
+//
+// Arrays (names follow the paper's description and [9]):
+//
+//	JC  — ids of columns with at least one nonzero, ascending
+//	CP  — CP[i]..CP[i+1] is the range in IR/Val for column JC[i]
+//	IR  — row indices of nonzeros, ascending within each column
+//	Val — the nonzero values, parallel to IR
+//
+// The optional auxiliary index over JC described in [9] is not used, matching
+// the paper ("which we have not used"); the engine iterates JC directly and
+// probes the message vector instead.
+type DCSC[E any] struct {
+	NRows, NCols uint32
+	JC           []uint32
+	CP           []uint32
+	IR           []uint32
+	Val          []E
+
+	// RowLo, RowHi record the output (row) range this structure covers when
+	// it is one partition of a 1-D row decomposition; for a whole matrix they
+	// are 0, NRows.
+	RowLo, RowHi uint32
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *DCSC[E]) NNZ() int { return len(m.IR) }
+
+// NZColumns returns the number of columns that contain at least one nonzero.
+func (m *DCSC[E]) NZColumns() int { return len(m.JC) }
+
+// BuildDCSC constructs a DCSC from col-major sorted entries restricted to
+// rows in [rowLo, rowHi). The input COO must be sorted with SortColMajor and
+// deduplicated; duplicates are not combined here.
+func BuildDCSC[E any](c *COO[E], rowLo, rowHi uint32) *DCSC[E] {
+	m := &DCSC[E]{NRows: c.NRows, NCols: c.NCols, RowLo: rowLo, RowHi: rowHi}
+	// First pass: count the entries in range to size the arrays exactly.
+	nnz := 0
+	for _, t := range c.Entries {
+		if t.Row >= rowLo && t.Row < rowHi {
+			nnz++
+		}
+	}
+	if nnz == 0 {
+		m.CP = []uint32{0}
+		return m
+	}
+	m.IR = make([]uint32, 0, nnz)
+	m.Val = make([]E, 0, nnz)
+	prevCol := uint32(0)
+	started := false
+	for _, t := range c.Entries {
+		if t.Row < rowLo || t.Row >= rowHi {
+			continue
+		}
+		if !started || t.Col != prevCol {
+			m.JC = append(m.JC, t.Col)
+			m.CP = append(m.CP, uint32(len(m.IR)))
+			prevCol = t.Col
+			started = true
+		}
+		m.IR = append(m.IR, t.Row)
+		m.Val = append(m.Val, t.Val)
+	}
+	m.CP = append(m.CP, uint32(len(m.IR)))
+	return m
+}
+
+// Column returns the row indices and values of column col, or nils if the
+// column is empty. Lookup is a binary search over JC.
+func (m *DCSC[E]) Column(col uint32) ([]uint32, []E) {
+	lo, hi := 0, len(m.JC)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m.JC[mid] < col {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(m.JC) || m.JC[lo] != col {
+		return nil, nil
+	}
+	s, e := m.CP[lo], m.CP[lo+1]
+	return m.IR[s:e], m.Val[s:e]
+}
+
+// Iterate calls fn(row, col, val) for every nonzero in column-major order.
+func (m *DCSC[E]) Iterate(fn func(row, col uint32, val E)) {
+	for ci, col := range m.JC {
+		for k := m.CP[ci]; k < m.CP[ci+1]; k++ {
+			fn(m.IR[k], col, m.Val[k])
+		}
+	}
+}
+
+// ToCOO converts back to triples (col-major sorted by construction).
+func (m *DCSC[E]) ToCOO() *COO[E] {
+	out := NewCOO[E](m.NRows, m.NCols)
+	out.Entries = make([]Triple[E], 0, m.NNZ())
+	m.Iterate(func(r, c uint32, v E) {
+		out.Entries = append(out.Entries, Triple[E]{Row: r, Col: c, Val: v})
+	})
+	return out
+}
+
+// PartitionRows splits [0, nrows) into nparts contiguous ranges balanced by
+// the per-row weight (typically the nonzero count of each row, so SpMV work
+// is balanced across partitions — the paper's load-balancing lever, §4.5).
+// It returns nparts+1 boundaries; partition i covers [b[i], b[i+1]).
+//
+// Interior boundaries are aligned up to multiples of 64 so that partitions
+// never share a bitvector word: the GraphMat engine writes each partition's
+// output-mask range from a single goroutine without atomics.
+func PartitionRows(rowWeights []uint32, nparts int) []uint32 {
+	n := len(rowWeights)
+	if nparts < 1 {
+		nparts = 1
+	}
+	bounds := make([]uint32, nparts+1)
+	var total uint64
+	for _, w := range rowWeights {
+		total += uint64(w) + 1 // +1: a row costs at least its output slot
+	}
+	target := total / uint64(nparts)
+	if target == 0 {
+		target = 1
+	}
+	p := 1
+	var acc uint64
+	for r := 0; r < n && p < nparts; r++ {
+		acc += uint64(rowWeights[r]) + 1
+		if acc >= uint64(p)*target {
+			bounds[p] = uint32(r + 1)
+			p++
+		}
+	}
+	for ; p < nparts; p++ {
+		bounds[p] = uint32(n)
+	}
+	bounds[nparts] = uint32(n)
+	for i := 1; i < nparts; i++ {
+		bounds[i] = (bounds[i] + 63) &^ 63
+		if bounds[i] > uint32(n) {
+			bounds[i] = uint32(n)
+		}
+	}
+	// Boundaries must be nondecreasing; guard against degenerate weight
+	// distributions and alignment overshoot.
+	for i := 1; i <= nparts; i++ {
+		if bounds[i] < bounds[i-1] {
+			bounds[i] = bounds[i-1]
+		}
+	}
+	return bounds
+}
+
+// BuildPartitionedDCSC splits the matrix into row partitions balanced by
+// nonzeros and builds one DCSC per partition. The input must be col-major
+// sorted and deduplicated.
+func BuildPartitionedDCSC[E any](c *COO[E], nparts int) []*DCSC[E] {
+	bounds := PartitionRows(c.RowCounts(), nparts)
+	parts := make([]*DCSC[E], nparts)
+	for i := 0; i < nparts; i++ {
+		parts[i] = BuildDCSC(c, bounds[i], bounds[i+1])
+	}
+	return parts
+}
