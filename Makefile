@@ -1,0 +1,33 @@
+# Targets mirror .github/workflows/ci.yml so a green `make ci` locally means
+# a green CI run.
+
+GO ?= go
+
+.PHONY: all build fmt lint test race bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+fmt:
+	gofmt -w .
+
+# lint = the non-test static gates CI runs: formatting and vet.
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/... ./internal/sparse/... ./internal/distributed/... ./internal/server/...
+
+# One pass over every benchmark: perf regressions that break a benchmark
+# surface as failures-to-run.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+ci: build lint test race bench

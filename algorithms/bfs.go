@@ -53,14 +53,28 @@ func NewBFSGraph(adj *graphmat.COO[float32], partitions int) (*graphmat.Graph[ui
 // BFS computes hop distances from root on a graph built by NewBFSGraph.
 // Unreachable vertices report Unreached.
 func BFS(g *graphmat.Graph[uint32, float32], root uint32, cfg graphmat.Config) ([]uint32, graphmat.Stats) {
+	ws := graphmat.NewWorkspace[uint32, uint32](int(g.NumVertices()), cfg.Vector)
+	dist, stats, err := BFSWithWorkspace(g, root, cfg, ws)
+	if err != nil {
+		panic(err) // workspace built for this graph and config above
+	}
+	return dist, stats
+}
+
+// BFSWithWorkspace is BFS with caller-managed engine scratch for repeated
+// traversals on one graph.
+func BFSWithWorkspace(g *graphmat.Graph[uint32, float32], root uint32, cfg graphmat.Config, ws *graphmat.Workspace[uint32, uint32]) ([]uint32, graphmat.Stats, error) {
 	g.SetAllProps(Unreached)
 	g.SetProp(root, 0)
 	g.ClearActive()
 	g.SetActive(root)
-	stats := graphmat.Run(g, BFSProgram{}, cfg)
+	stats, err := graphmat.RunWithWorkspace(g, BFSProgram{}, cfg, ws)
+	if err != nil {
+		return nil, stats, err
+	}
 	dist := make([]uint32, g.NumVertices())
 	for v := range dist {
 		dist[v] = g.Prop(uint32(v))
 	}
-	return dist, stats
+	return dist, stats, nil
 }

@@ -48,14 +48,28 @@ func NewCCGraph(adj *graphmat.COO[float32], partitions int) (*graphmat.Graph[uin
 // ConnectedComponents labels every vertex with the smallest vertex id in its
 // component.
 func ConnectedComponents(g *graphmat.Graph[uint32, float32], cfg graphmat.Config) ([]uint32, graphmat.Stats) {
+	ws := graphmat.NewWorkspace[uint32, uint32](int(g.NumVertices()), cfg.Vector)
+	labels, stats, err := ConnectedComponentsWithWorkspace(g, cfg, ws)
+	if err != nil {
+		panic(err) // workspace built for this graph and config above
+	}
+	return labels, stats
+}
+
+// ConnectedComponentsWithWorkspace is ConnectedComponents with
+// caller-managed engine scratch for repeated runs on one graph.
+func ConnectedComponentsWithWorkspace(g *graphmat.Graph[uint32, float32], cfg graphmat.Config, ws *graphmat.Workspace[uint32, uint32]) ([]uint32, graphmat.Stats, error) {
 	g.InitProps(func(v uint32) uint32 { return v })
 	g.SetAllActive()
-	stats := graphmat.Run(g, CCProgram{}, cfg)
+	stats, err := graphmat.RunWithWorkspace(g, CCProgram{}, cfg, ws)
+	if err != nil {
+		return nil, stats, err
+	}
 	labels := make([]uint32, g.NumVertices())
 	for v := range labels {
 		labels[v] = g.Prop(uint32(v))
 	}
-	return labels, stats
+	return labels, stats, nil
 }
 
 // DegreeProgram counts arriving messages: run for one superstep with all

@@ -65,6 +65,18 @@ func NewHITSGraph(adj *graphmat.COO[float32], partitions int) (*graphmat.Graph[H
 // half-steps, L2-normalizing after each (the standard formulation). Returns
 // the final scores indexed by vertex.
 func HITS(g *graphmat.Graph[HITSVertex, float32], opt HITSOptions) ([]HITSVertex, graphmat.Stats) {
+	ws := graphmat.NewWorkspace[float64, float64](int(g.NumVertices()), opt.Config.Vector)
+	out, stats, err := HITSWithWorkspace(g, opt, ws)
+	if err != nil {
+		panic(err) // workspace built for this graph and config above
+	}
+	return out, stats
+}
+
+// HITSWithWorkspace is HITS with caller-managed engine scratch for repeated
+// runs on one graph. Both half-steps carry float64 messages, so one
+// workspace serves the whole run.
+func HITSWithWorkspace(g *graphmat.Graph[HITSVertex, float32], opt HITSOptions, ws *graphmat.Workspace[float64, float64]) ([]HITSVertex, graphmat.Stats, error) {
 	iters := opt.Iterations
 	if iters <= 0 {
 		iters = 20
@@ -90,18 +102,6 @@ func HITS(g *graphmat.Graph[HITSVertex, float32], opt HITSOptions) ([]HITSVertex
 	}
 
 	var stats graphmat.Stats
-	accum := func(s graphmat.Stats, err error) {
-		if err != nil {
-			panic(err) // workspace built for this graph and config below
-		}
-		stats.Iterations += s.Iterations
-		stats.MessagesSent += s.MessagesSent
-		stats.EdgesProcessed += s.EdgesProcessed
-		stats.Applies += s.Applies
-		stats.ActiveSum += s.ActiveSum
-		stats.ColumnsProbed += s.ColumnsProbed
-	}
-	ws := graphmat.NewWorkspace[float64, float64](int(g.NumVertices()), cfg.Vector)
 	for it := 0; it < iters; it++ {
 		// A vertex that receives no messages is never Applied, so the
 		// accumulated field must be cleared up front: a page nobody links to
@@ -110,16 +110,24 @@ func HITS(g *graphmat.Graph[HITSVertex, float32], opt HITSOptions) ([]HITSVertex
 			props[i].Auth = 0
 		}
 		g.SetAllActive()
-		accum(graphmat.RunWithWorkspace(g, hitsAuthProg{}, cfg, ws))
+		s, err := graphmat.RunWithWorkspace(g, hitsAuthProg{}, cfg, ws)
+		if err != nil {
+			return nil, stats, err
+		}
+		accumulate(&stats, s)
 		normalize(func(v *HITSVertex) *float64 { return &v.Auth })
 		for i := range props {
 			props[i].Hub = 0
 		}
 		g.SetAllActive()
-		accum(graphmat.RunWithWorkspace(g, hitsHubProg{}, cfg, ws))
+		s, err = graphmat.RunWithWorkspace(g, hitsHubProg{}, cfg, ws)
+		if err != nil {
+			return nil, stats, err
+		}
+		accumulate(&stats, s)
 		normalize(func(v *HITSVertex) *float64 { return &v.Hub })
 	}
 	out := make([]HITSVertex, len(props))
 	copy(out, props)
-	return out, stats
+	return out, stats, nil
 }

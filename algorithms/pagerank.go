@@ -94,6 +94,20 @@ func NewPageRankGraph(adj *graphmat.COO[float32], partitions int) (*graphmat.Gra
 // why Figure 4a can report a stable time per iteration). Convergence is
 // detected when no vertex's rank moves beyond Tolerance.
 func PageRank(g *graphmat.Graph[PRVertex, float32], opt PageRankOptions) ([]float64, graphmat.Stats) {
+	// One workspace across the whole superstep loop (graph_program_init in
+	// the paper's appendix): avoids two vertex-sized allocations per step.
+	ws := graphmat.NewWorkspace[float64, float64](int(g.NumVertices()), opt.Config.Vector)
+	ranks, stats, err := PageRankWithWorkspace(g, opt, ws)
+	if err != nil {
+		panic(err) // workspace built for this graph and config above
+	}
+	return ranks, stats
+}
+
+// PageRankWithWorkspace is PageRank with caller-managed engine scratch, for
+// drivers (like the analytics server) that run back-to-back queries on one
+// graph and want to reuse the workspace instead of reallocating it.
+func PageRankWithWorkspace(g *graphmat.Graph[PRVertex, float32], opt PageRankOptions, ws *graphmat.Workspace[float64, float64]) ([]float64, graphmat.Stats, error) {
 	opt = opt.withDefaults()
 	g.InitProps(func(v uint32) PRVertex {
 		p := PRVertex{Rank: 1}
@@ -105,22 +119,14 @@ func PageRank(g *graphmat.Graph[PRVertex, float32], opt PageRankOptions) ([]floa
 	prog := PageRankProgram{RestartProb: opt.RestartProb, Tolerance: opt.Tolerance}
 	cfg := opt.Config
 	cfg.MaxIterations = 1
-	// One workspace across the whole superstep loop (graph_program_init in
-	// the paper's appendix): avoids two vertex-sized allocations per step.
-	ws := graphmat.NewWorkspace[float64, float64](int(g.NumVertices()), cfg.Vector)
 	var stats graphmat.Stats
 	for it := 0; it < opt.MaxIterations; it++ {
 		g.SetAllActive()
 		s, err := graphmat.RunWithWorkspace(g, prog, cfg, ws)
 		if err != nil {
-			panic(err) // workspace built for this graph and config above
+			return nil, stats, err
 		}
-		stats.Iterations += s.Iterations
-		stats.MessagesSent += s.MessagesSent
-		stats.EdgesProcessed += s.EdgesProcessed
-		stats.Applies += s.Applies
-		stats.ActiveSum += s.ActiveSum
-		stats.ColumnsProbed += s.ColumnsProbed
+		accumulate(&stats, s)
 		// After the superstep the active set holds exactly the vertices
 		// whose rank moved beyond Tolerance.
 		if !g.Active().Any() {
@@ -131,5 +137,5 @@ func PageRank(g *graphmat.Graph[PRVertex, float32], opt PageRankOptions) ([]floa
 	for v := range ranks {
 		ranks[v] = g.Prop(uint32(v)).Rank
 	}
-	return ranks, stats
+	return ranks, stats, nil
 }

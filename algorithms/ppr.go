@@ -61,6 +61,17 @@ func (PersonalizedPageRankProgram) ProcessIgnoresDst() {}
 // Graph[PPRVertex, float32]). Ranks are a probability distribution over
 // vertices (they sum to ~1 on source-reachable graphs).
 func PersonalizedPageRank(g *graphmat.Graph[PPRVertex, float32], sources []uint32, opt PageRankOptions) ([]float64, graphmat.Stats) {
+	ws := graphmat.NewWorkspace[float64, float64](int(g.NumVertices()), opt.Config.Vector)
+	ranks, stats, err := PersonalizedPageRankWithWorkspace(g, sources, opt, ws)
+	if err != nil {
+		panic(err) // workspace built for this graph and config above
+	}
+	return ranks, stats
+}
+
+// PersonalizedPageRankWithWorkspace is PersonalizedPageRank with
+// caller-managed engine scratch for repeated queries on one graph.
+func PersonalizedPageRankWithWorkspace(g *graphmat.Graph[PPRVertex, float32], sources []uint32, opt PageRankOptions, ws *graphmat.Workspace[float64, float64]) ([]float64, graphmat.Stats, error) {
 	opt = opt.withDefaults()
 	perSource := opt.RestartProb / float64(len(sources))
 	isSource := make(map[uint32]bool, len(sources))
@@ -81,20 +92,14 @@ func PersonalizedPageRank(g *graphmat.Graph[PPRVertex, float32], sources []uint3
 	prog := PersonalizedPageRankProgram{RestartProb: opt.RestartProb, Tolerance: opt.Tolerance}
 	cfg := opt.Config
 	cfg.MaxIterations = 1
-	ws := graphmat.NewWorkspace[float64, float64](int(g.NumVertices()), cfg.Vector)
 	var stats graphmat.Stats
 	for it := 0; it < opt.MaxIterations; it++ {
 		g.SetAllActive()
 		s, err := graphmat.RunWithWorkspace(g, prog, cfg, ws)
 		if err != nil {
-			panic(err) // workspace built for this graph and config above
+			return nil, stats, err
 		}
-		stats.Iterations += s.Iterations
-		stats.MessagesSent += s.MessagesSent
-		stats.EdgesProcessed += s.EdgesProcessed
-		stats.Applies += s.Applies
-		stats.ActiveSum += s.ActiveSum
-		stats.ColumnsProbed += s.ColumnsProbed
+		accumulate(&stats, s)
 		if !g.Active().Any() {
 			break
 		}
@@ -103,7 +108,7 @@ func PersonalizedPageRank(g *graphmat.Graph[PPRVertex, float32], sources []uint3
 	for v := range ranks {
 		ranks[v] = g.Prop(uint32(v)).Rank
 	}
-	return ranks, stats
+	return ranks, stats, nil
 }
 
 // NewPersonalizedPageRankGraph builds the PPR property graph.

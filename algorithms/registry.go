@@ -1,0 +1,543 @@
+package algorithms
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"graphmat"
+)
+
+// This file is the package's named-constructor table: every ready-made
+// algorithm registered under a stable name with a declared parameter schema,
+// a graph builder (the algorithm-specific preprocessing of §5.1) and a
+// uniform result shape. The analytics server dispatches HTTP queries through
+// it and the graphmat CLI resolves -algorithm through the same table, so the
+// two front ends can never drift apart.
+
+// Params holds the parsed parameters of one registry run. Fields an
+// algorithm does not declare in its Spec are rejected by ParseParams, not
+// silently ignored.
+type Params struct {
+	// Source is the start vertex for traversals (bfs, sssp).
+	Source uint32
+	// Sources is the personalization set for ppr; empty means {Source}.
+	Sources []uint32
+	// Iterations caps iterative algorithms (pagerank, ppr, hits); 0 means
+	// the algorithm's default.
+	Iterations int
+	// Tolerance is the convergence threshold for pagerank/ppr.
+	Tolerance float64
+	// RestartProb is the teleport probability for pagerank/ppr; 0 means 0.15.
+	RestartProb float64
+	// Threads is the engine worker count; 0 means GOMAXPROCS. Results are
+	// deterministic across thread counts (partitions own disjoint output
+	// ranges and reduce in a fixed order), so Threads is a performance knob,
+	// not a semantic one.
+	Threads int
+}
+
+// Key returns a canonical cache key for the parameters. Threads is excluded:
+// it cannot change the result, only how fast it arrives.
+func (p Params) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "src=%d;srcs=%v;it=%d;tol=%g;r=%g", p.Source, p.Sources, p.Iterations, p.Tolerance, p.RestartProb)
+	return b.String()
+}
+
+func (p Params) config() graphmat.Config {
+	return graphmat.Config{Threads: p.Threads}
+}
+
+// Result is the uniform output of a registry run: a per-vertex value series
+// (rank, distance, component label), optional named extra series (HITS hub
+// and authority), an optional scalar (triangle count), and the engine stats.
+type Result struct {
+	Values []float64            `json:"values,omitempty"`
+	Series map[string][]float64 `json:"series,omitempty"`
+	Count  *int64               `json:"count,omitempty"`
+	Stats  graphmat.Stats       `json:"stats"`
+}
+
+// ParamKind is the type of one declared parameter.
+type ParamKind int
+
+const (
+	// Uint is a non-negative integer parameter.
+	Uint ParamKind = iota
+	// Float is a floating-point parameter.
+	Float
+	// UintList is a list of non-negative integers.
+	UintList
+)
+
+// String names the kind for API listings.
+func (k ParamKind) String() string {
+	switch k {
+	case Uint:
+		return "uint"
+	case Float:
+		return "float"
+	case UintList:
+		return "uint_list"
+	}
+	return "unknown"
+}
+
+// ParamSpec declares one parameter an algorithm accepts.
+type ParamSpec struct {
+	Name string    `json:"name"`
+	Kind ParamKind `json:"-"`
+	Desc string    `json:"desc"`
+}
+
+// Instance is an algorithm bound to a built property graph, ready to run
+// queries. Run mutates the graph's vertex state, so it is NOT safe for
+// concurrent use on one Instance; callers serialize (the server holds a
+// per-instance lock).
+type Instance interface {
+	// Run executes the algorithm. scratch, if non-nil, must be a value
+	// returned by NewScratch on an instance over the same graph; nil
+	// allocates fresh scratch for this run.
+	Run(p Params, scratch any) (Result, error)
+	// NewScratch allocates the reusable engine workspace for this
+	// (algorithm, graph) pair, for callers that pool scratch across runs.
+	NewScratch() any
+	// NumVertices reports the built property graph's vertex count.
+	NumVertices() uint32
+	// NumEdges reports the built property graph's edge count.
+	NumEdges() int64
+}
+
+// Spec is one registry entry.
+type Spec struct {
+	Name        string      `json:"name"`
+	Description string      `json:"description"`
+	Params      []ParamSpec `json:"params"`
+	// Build constructs the algorithm's property graph from adjacency
+	// triples, applying the algorithm's preprocessing. The input is
+	// consumed (sorted, deduplicated, possibly symmetrized in place); pass
+	// a clone to keep the original.
+	Build func(adj *graphmat.COO[float32], partitions int) (Instance, error) `json:"-"`
+}
+
+// ParseParams validates raw key/value parameters (JSON-decoded: numbers as
+// float64, lists as []any) against the spec's declared schema. Unknown keys
+// error. "threads" is accepted for every algorithm.
+func (s Spec) ParseParams(raw map[string]any) (Params, error) {
+	var p Params
+	for key, val := range raw {
+		if key == "threads" {
+			n, err := asUint(val)
+			if err != nil {
+				return p, fmt.Errorf("parameter threads: %w", err)
+			}
+			p.Threads = int(n)
+			continue
+		}
+		var spec *ParamSpec
+		for i := range s.Params {
+			if s.Params[i].Name == key {
+				spec = &s.Params[i]
+				break
+			}
+		}
+		if spec == nil {
+			return p, fmt.Errorf("algorithm %s does not accept parameter %q", s.Name, key)
+		}
+		switch spec.Kind {
+		case Uint:
+			n, err := asUint(val)
+			if err != nil {
+				return p, fmt.Errorf("parameter %s: %w", key, err)
+			}
+			switch key {
+			case "source":
+				p.Source = uint32(n)
+			case "iters":
+				p.Iterations = int(n)
+			}
+		case Float:
+			f, err := asFloat(val)
+			if err != nil {
+				return p, fmt.Errorf("parameter %s: %w", key, err)
+			}
+			switch key {
+			case "tolerance":
+				p.Tolerance = f
+			case "restart":
+				p.RestartProb = f
+			}
+		case UintList:
+			list, ok := val.([]any)
+			if !ok {
+				return p, fmt.Errorf("parameter %s: expected a list of vertex ids", key)
+			}
+			for _, item := range list {
+				n, err := asUint(item)
+				if err != nil {
+					return p, fmt.Errorf("parameter %s: %w", key, err)
+				}
+				p.Sources = append(p.Sources, uint32(n))
+			}
+		}
+	}
+	return p, nil
+}
+
+// asUint parses a non-negative integer no larger than math.MaxUint32 (the
+// engine's vertex-id and iteration domain), so narrowing to uint32/int below
+// can never silently truncate.
+func asUint(v any) (uint64, error) {
+	switch x := v.(type) {
+	case float64:
+		if x < 0 || x != float64(uint64(x)) {
+			return 0, fmt.Errorf("expected a non-negative integer, got %v", x)
+		}
+		if x > math.MaxUint32 {
+			return 0, fmt.Errorf("value %v exceeds the maximum of %d", x, uint64(math.MaxUint32))
+		}
+		return uint64(x), nil
+	case int:
+		if x < 0 {
+			return 0, fmt.Errorf("expected a non-negative integer, got %v", x)
+		}
+		if uint64(x) > math.MaxUint32 {
+			return 0, fmt.Errorf("value %v exceeds the maximum of %d", x, uint64(math.MaxUint32))
+		}
+		return uint64(x), nil
+	default:
+		return 0, fmt.Errorf("expected a non-negative integer, got %T", v)
+	}
+}
+
+func asFloat(v any) (float64, error) {
+	switch x := v.(type) {
+	case float64:
+		return x, nil
+	case int:
+		return float64(x), nil
+	default:
+		return 0, fmt.Errorf("expected a number, got %T", v)
+	}
+}
+
+var registry = map[string]Spec{}
+
+// Register adds a spec to the registry; duplicate names panic (registration
+// happens at init time).
+func Register(s Spec) {
+	if _, dup := registry[s.Name]; dup {
+		panic("algorithms: duplicate registration of " + s.Name)
+	}
+	registry[s.Name] = s
+}
+
+// Lookup returns the spec registered under name.
+func Lookup(name string) (Spec, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns the registered algorithm names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Specs returns all registered specs, sorted by name.
+func Specs() []Spec {
+	specs := make([]Spec, 0, len(registry))
+	for _, n := range Names() {
+		specs = append(specs, registry[n])
+	}
+	return specs
+}
+
+var (
+	paramSource    = ParamSpec{Name: "source", Kind: Uint, Desc: "start vertex id"}
+	paramSources   = ParamSpec{Name: "sources", Kind: UintList, Desc: "personalization vertex ids"}
+	paramIters     = ParamSpec{Name: "iters", Kind: Uint, Desc: "iteration cap (0 = default)"}
+	paramTolerance = ParamSpec{Name: "tolerance", Kind: Float, Desc: "convergence threshold"}
+	paramRestart   = ParamSpec{Name: "restart", Kind: Float, Desc: "teleport probability (0 = 0.15)"}
+)
+
+func init() {
+	Register(Spec{
+		Name:        "pagerank",
+		Description: "PageRank over out-edges (paper equation 1)",
+		Params:      []ParamSpec{paramIters, paramTolerance, paramRestart},
+		Build: func(adj *graphmat.COO[float32], partitions int) (Instance, error) {
+			g, err := NewPageRankGraph(adj, partitions)
+			if err != nil {
+				return nil, err
+			}
+			return &pagerankInstance{g: g}, nil
+		},
+	})
+	Register(Spec{
+		Name:        "bfs",
+		Description: "breadth-first hop distances on the symmetrized graph",
+		Params:      []ParamSpec{paramSource},
+		Build: func(adj *graphmat.COO[float32], partitions int) (Instance, error) {
+			g, err := NewBFSGraph(adj, partitions)
+			if err != nil {
+				return nil, err
+			}
+			return &bfsInstance{g: g}, nil
+		},
+	})
+	Register(Spec{
+		Name:        "sssp",
+		Description: "single-source shortest paths (frontier Bellman-Ford)",
+		Params:      []ParamSpec{paramSource},
+		Build: func(adj *graphmat.COO[float32], partitions int) (Instance, error) {
+			g, err := NewSSSPGraph(adj, partitions)
+			if err != nil {
+				return nil, err
+			}
+			return &ssspInstance{g: g}, nil
+		},
+	})
+	Register(Spec{
+		Name:        "components",
+		Description: "connected components by min-label propagation",
+		Params:      nil,
+		Build: func(adj *graphmat.COO[float32], partitions int) (Instance, error) {
+			g, err := NewCCGraph(adj, partitions)
+			if err != nil {
+				return nil, err
+			}
+			return &componentsInstance{g: g}, nil
+		},
+	})
+	Register(Spec{
+		Name:        "ppr",
+		Description: "personalized PageRank toward a source set",
+		Params:      []ParamSpec{paramSource, paramSources, paramIters, paramTolerance, paramRestart},
+		Build: func(adj *graphmat.COO[float32], partitions int) (Instance, error) {
+			g, err := NewPersonalizedPageRankGraph(adj, partitions)
+			if err != nil {
+				return nil, err
+			}
+			return &pprInstance{g: g}, nil
+		},
+	})
+	Register(Spec{
+		Name:        "triangles",
+		Description: "triangle count via the two-phase neighbor-intersection pipeline",
+		Params:      nil,
+		Build: func(adj *graphmat.COO[float32], partitions int) (Instance, error) {
+			g, err := NewTriangleGraph(adj, partitions)
+			if err != nil {
+				return nil, err
+			}
+			return &trianglesInstance{g: g}, nil
+		},
+	})
+	Register(Spec{
+		Name:        "hits",
+		Description: "HITS hub and authority scores (L2-normalized half-steps)",
+		Params:      []ParamSpec{paramIters},
+		Build: func(adj *graphmat.COO[float32], partitions int) (Instance, error) {
+			g, err := NewHITSGraph(adj, partitions)
+			if err != nil {
+				return nil, err
+			}
+			return &hitsInstance{g: g}, nil
+		},
+	})
+}
+
+func checkSource(v uint32, n uint32, what string) error {
+	if v >= n {
+		return fmt.Errorf("%s vertex %d out of range (graph has %d vertices)", what, v, n)
+	}
+	return nil
+}
+
+// typedScratch coerces a pooled scratch value to the instance's workspace
+// type, allocating a fresh one when the caller passed nil.
+func typedScratch[T any](scratch any, fresh func() any) (T, error) {
+	if scratch == nil {
+		scratch = fresh()
+	}
+	t, ok := scratch.(T)
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("scratch type %T does not belong to this algorithm", scratch)
+	}
+	return t, nil
+}
+
+type pagerankInstance struct {
+	g *graphmat.Graph[PRVertex, float32]
+}
+
+func (i *pagerankInstance) NumVertices() uint32 { return i.g.NumVertices() }
+func (i *pagerankInstance) NumEdges() int64     { return i.g.NumEdges() }
+func (i *pagerankInstance) NewScratch() any {
+	return graphmat.NewWorkspace[float64, float64](int(i.g.NumVertices()), graphmat.Bitvector)
+}
+func (i *pagerankInstance) Run(p Params, scratch any) (Result, error) {
+	ws, err := typedScratch[*graphmat.Workspace[float64, float64]](scratch, i.NewScratch)
+	if err != nil {
+		return Result{}, err
+	}
+	opt := PageRankOptions{MaxIterations: p.Iterations, Tolerance: p.Tolerance, RestartProb: p.RestartProb, Config: p.config()}
+	ranks, stats, err := PageRankWithWorkspace(i.g, opt, ws)
+	return Result{Values: ranks, Stats: stats}, err
+}
+
+type bfsInstance struct {
+	g *graphmat.Graph[uint32, float32]
+}
+
+func (i *bfsInstance) NumVertices() uint32 { return i.g.NumVertices() }
+func (i *bfsInstance) NumEdges() int64     { return i.g.NumEdges() }
+func (i *bfsInstance) NewScratch() any {
+	return graphmat.NewWorkspace[uint32, uint32](int(i.g.NumVertices()), graphmat.Bitvector)
+}
+func (i *bfsInstance) Run(p Params, scratch any) (Result, error) {
+	if err := checkSource(p.Source, i.g.NumVertices(), "source"); err != nil {
+		return Result{}, err
+	}
+	ws, err := typedScratch[*graphmat.Workspace[uint32, uint32]](scratch, i.NewScratch)
+	if err != nil {
+		return Result{}, err
+	}
+	dist, stats, err := BFSWithWorkspace(i.g, p.Source, p.config(), ws)
+	return Result{Values: uintValues(dist), Stats: stats}, err
+}
+
+type ssspInstance struct {
+	g *graphmat.Graph[float32, float32]
+}
+
+func (i *ssspInstance) NumVertices() uint32 { return i.g.NumVertices() }
+func (i *ssspInstance) NumEdges() int64     { return i.g.NumEdges() }
+func (i *ssspInstance) NewScratch() any {
+	return graphmat.NewWorkspace[float32, float32](int(i.g.NumVertices()), graphmat.Bitvector)
+}
+func (i *ssspInstance) Run(p Params, scratch any) (Result, error) {
+	if err := checkSource(p.Source, i.g.NumVertices(), "source"); err != nil {
+		return Result{}, err
+	}
+	ws, err := typedScratch[*graphmat.Workspace[float32, float32]](scratch, i.NewScratch)
+	if err != nil {
+		return Result{}, err
+	}
+	dist, stats, err := SSSPWithWorkspace(i.g, p.Source, p.config(), ws)
+	values := make([]float64, len(dist))
+	for v, d := range dist {
+		values[v] = float64(d)
+	}
+	return Result{Values: values, Stats: stats}, err
+}
+
+type componentsInstance struct {
+	g *graphmat.Graph[uint32, float32]
+}
+
+func (i *componentsInstance) NumVertices() uint32 { return i.g.NumVertices() }
+func (i *componentsInstance) NumEdges() int64     { return i.g.NumEdges() }
+func (i *componentsInstance) NewScratch() any {
+	return graphmat.NewWorkspace[uint32, uint32](int(i.g.NumVertices()), graphmat.Bitvector)
+}
+func (i *componentsInstance) Run(p Params, scratch any) (Result, error) {
+	ws, err := typedScratch[*graphmat.Workspace[uint32, uint32]](scratch, i.NewScratch)
+	if err != nil {
+		return Result{}, err
+	}
+	labels, stats, err := ConnectedComponentsWithWorkspace(i.g, p.config(), ws)
+	return Result{Values: uintValues(labels), Stats: stats}, err
+}
+
+type pprInstance struct {
+	g *graphmat.Graph[PPRVertex, float32]
+}
+
+func (i *pprInstance) NumVertices() uint32 { return i.g.NumVertices() }
+func (i *pprInstance) NumEdges() int64     { return i.g.NumEdges() }
+func (i *pprInstance) NewScratch() any {
+	return graphmat.NewWorkspace[float64, float64](int(i.g.NumVertices()), graphmat.Bitvector)
+}
+func (i *pprInstance) Run(p Params, scratch any) (Result, error) {
+	sources := p.Sources
+	if len(sources) == 0 {
+		sources = []uint32{p.Source}
+	}
+	for _, s := range sources {
+		if err := checkSource(s, i.g.NumVertices(), "personalization"); err != nil {
+			return Result{}, err
+		}
+	}
+	ws, err := typedScratch[*graphmat.Workspace[float64, float64]](scratch, i.NewScratch)
+	if err != nil {
+		return Result{}, err
+	}
+	opt := PageRankOptions{MaxIterations: p.Iterations, Tolerance: p.Tolerance, RestartProb: p.RestartProb, Config: p.config()}
+	ranks, stats, err := PersonalizedPageRankWithWorkspace(i.g, sources, opt, ws)
+	return Result{Values: ranks, Stats: stats}, err
+}
+
+type trianglesInstance struct {
+	g *graphmat.Graph[TCVertex, float32]
+}
+
+func (i *trianglesInstance) NumVertices() uint32 { return i.g.NumVertices() }
+func (i *trianglesInstance) NumEdges() int64     { return i.g.NumEdges() }
+func (i *trianglesInstance) NewScratch() any {
+	return NewTriangleScratch(int(i.g.NumVertices()), graphmat.Bitvector)
+}
+func (i *trianglesInstance) Run(p Params, scratch any) (Result, error) {
+	sc, err := typedScratch[*TriangleScratch](scratch, i.NewScratch)
+	if err != nil {
+		return Result{}, err
+	}
+	count, stats, err := TriangleCountWithWorkspace(i.g, p.config(), sc)
+	return Result{Count: &count, Stats: stats}, err
+}
+
+type hitsInstance struct {
+	g *graphmat.Graph[HITSVertex, float32]
+}
+
+func (i *hitsInstance) NumVertices() uint32 { return i.g.NumVertices() }
+func (i *hitsInstance) NumEdges() int64     { return i.g.NumEdges() }
+func (i *hitsInstance) NewScratch() any {
+	return graphmat.NewWorkspace[float64, float64](int(i.g.NumVertices()), graphmat.Bitvector)
+}
+func (i *hitsInstance) Run(p Params, scratch any) (Result, error) {
+	ws, err := typedScratch[*graphmat.Workspace[float64, float64]](scratch, i.NewScratch)
+	if err != nil {
+		return Result{}, err
+	}
+	scores, stats, err := HITSWithWorkspace(i.g, HITSOptions{Iterations: p.Iterations, Config: p.config()}, ws)
+	if err != nil {
+		return Result{}, err
+	}
+	hub := make([]float64, len(scores))
+	auth := make([]float64, len(scores))
+	for v, s := range scores {
+		hub[v] = s.Hub
+		auth[v] = s.Auth
+	}
+	return Result{Series: map[string][]float64{"hub": hub, "auth": auth}, Stats: stats}, nil
+}
+
+// uintValues widens a uint32 result series to the registry's float64 result
+// shape; uint32 is exactly representable in float64, so the conversion is
+// lossless.
+func uintValues(s []uint32) []float64 {
+	out := make([]float64, len(s))
+	for v, x := range s {
+		out[v] = float64(x)
+	}
+	return out
+}

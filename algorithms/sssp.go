@@ -53,14 +53,28 @@ func NewSSSPGraph(adj *graphmat.COO[float32], partitions int) (*graphmat.Graph[f
 // SSSP computes shortest-path distances from src on a graph built by
 // NewSSSPGraph. Unreachable vertices report InfDist.
 func SSSP(g *graphmat.Graph[float32, float32], src uint32, cfg graphmat.Config) ([]float32, graphmat.Stats) {
+	ws := graphmat.NewWorkspace[float32, float32](int(g.NumVertices()), cfg.Vector)
+	dist, stats, err := SSSPWithWorkspace(g, src, cfg, ws)
+	if err != nil {
+		panic(err) // workspace built for this graph and config above
+	}
+	return dist, stats
+}
+
+// SSSPWithWorkspace is SSSP with caller-managed engine scratch for repeated
+// queries on one graph.
+func SSSPWithWorkspace(g *graphmat.Graph[float32, float32], src uint32, cfg graphmat.Config, ws *graphmat.Workspace[float32, float32]) ([]float32, graphmat.Stats, error) {
 	g.SetAllProps(InfDist)
 	g.SetProp(src, 0)
 	g.ClearActive()
 	g.SetActive(src)
-	stats := graphmat.Run(g, SSSPProgram{}, cfg)
+	stats, err := graphmat.RunWithWorkspace(g, SSSPProgram{}, cfg, ws)
+	if err != nil {
+		return nil, stats, err
+	}
 	dist := make([]float32, g.NumVertices())
 	for v := range dist {
 		dist[v] = g.Prop(uint32(v))
 	}
-	return dist, stats
+	return dist, stats, nil
 }

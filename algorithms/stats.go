@@ -1,0 +1,14 @@
+package algorithms
+
+import "graphmat"
+
+// accumulate folds one superstep's engine stats into a running total (the
+// multi-run accumulation every iterative driver repeats).
+func accumulate(dst *graphmat.Stats, s graphmat.Stats) {
+	dst.Iterations += s.Iterations
+	dst.MessagesSent += s.MessagesSent
+	dst.EdgesProcessed += s.EdgesProcessed
+	dst.Applies += s.Applies
+	dst.ActiveSum += s.ActiveSum
+	dst.ColumnsProbed += s.ColumnsProbed
+}

@@ -96,23 +96,57 @@ func NewTriangleGraph(adj *graphmat.COO[float32], partitions int) (*graphmat.Gra
 // number of triangles. Vertex state is reinitialized, so the graph is
 // reusable across runs.
 func TriangleCount(g *graphmat.Graph[TCVertex, float32], cfg graphmat.Config) (int64, graphmat.Stats) {
+	scratch := NewTriangleScratch(int(g.NumVertices()), cfg.Vector)
+	count, stats, err := TriangleCountWithWorkspace(g, cfg, scratch)
+	if err != nil {
+		panic(err) // scratch built for this graph and config above
+	}
+	return count, stats
+}
+
+// TriangleScratch is the reusable engine scratch for the two-phase triangle
+// pipeline: the phases carry different message types, so each needs its own
+// workspace.
+type TriangleScratch struct {
+	Phase1 *graphmat.Workspace[uint32, []uint32]
+	Phase2 *graphmat.Workspace[[]uint32, int64]
+}
+
+// NewTriangleScratch allocates scratch for n-vertex triangle graphs.
+func NewTriangleScratch(n int, kind graphmat.VectorKind) *TriangleScratch {
+	return &TriangleScratch{
+		Phase1: graphmat.NewWorkspace[uint32, []uint32](n, kind),
+		Phase2: graphmat.NewWorkspace[[]uint32, int64](n, kind),
+	}
+}
+
+// Reset clears both phase workspaces (pool recycling).
+func (s *TriangleScratch) Reset() {
+	s.Phase1.Reset()
+	s.Phase2.Reset()
+}
+
+// TriangleCountWithWorkspace is TriangleCount with caller-managed scratch
+// for repeated counts on one graph.
+func TriangleCountWithWorkspace(g *graphmat.Graph[TCVertex, float32], cfg graphmat.Config, scratch *TriangleScratch) (int64, graphmat.Stats, error) {
 	g.SetAllProps(TCVertex{})
 	g.SetAllActive()
 	cfg.MaxIterations = 1
-	stats := graphmat.Run(g, tcPhase1{}, cfg)
+	stats, err := graphmat.RunWithWorkspace(g, tcPhase1{}, cfg, scratch.Phase1)
+	if err != nil {
+		return 0, stats, err
+	}
 
 	g.SetAllActive()
-	s2 := graphmat.Run(g, tcPhase2{}, cfg)
-	stats.EdgesProcessed += s2.EdgesProcessed
-	stats.MessagesSent += s2.MessagesSent
-	stats.Applies += s2.Applies
-	stats.ActiveSum += s2.ActiveSum
-	stats.ColumnsProbed += s2.ColumnsProbed
-	stats.Iterations += s2.Iterations
+	s2, err := graphmat.RunWithWorkspace(g, tcPhase2{}, cfg, scratch.Phase2)
+	if err != nil {
+		return 0, stats, err
+	}
+	accumulate(&stats, s2)
 
 	var total int64
 	for v := uint32(0); v < g.NumVertices(); v++ {
 		total += g.Prop(v).Count
 	}
-	return total, stats
+	return total, stats, nil
 }

@@ -1,6 +1,9 @@
 // Command graphmat runs one of the library's graph algorithms on a graph
 // file, mirroring the workflow of the paper's C++ release (load graph, run
-// vertex program, print results and timing).
+// vertex program, print results and timing). Algorithms are resolved through
+// the algorithms registry — the same dispatch table graphmatd serves over
+// HTTP — so the CLI and the service can never disagree about what an
+// algorithm name means; cf and degrees are CLI-only extras.
 //
 // Usage:
 //
@@ -9,7 +12,7 @@
 //	graphmat -algorithm triangles -graph social.mtx
 //	graphmat -algorithm cf -graph ratings.mtx -iters 10
 //	graphmat -algorithm bfs -graph social.mtx -source 0
-//	graphmat -algorithm cc -graph social.mtx
+//	graphmat -algorithm components -graph social.mtx
 package main
 
 import (
@@ -26,10 +29,10 @@ import (
 
 func main() {
 	var (
-		algo    = flag.String("algorithm", "", "pagerank, bfs, sssp, triangles, cf, cc, degrees")
+		algo    = flag.String("algorithm", "", strings.Join(append(algorithms.Names(), "cf", "degrees"), ", "))
 		path    = flag.String("graph", "", "graph file (.mtx, .bin, or text edge list)")
-		source  = flag.Uint("source", 0, "bfs/sssp source vertex")
-		iters   = flag.Int("iters", 10, "iterations for pagerank/cf")
+		source  = flag.Uint("source", 0, "bfs/sssp/ppr source vertex")
+		iters   = flag.Int("iters", 10, "iterations for pagerank/ppr/hits/cf")
 		top     = flag.Int("top", 5, "print the top-k vertices of the result")
 		threads = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
 	)
@@ -48,61 +51,11 @@ func main() {
 	cfg := graphmat.Config{Threads: *threads}
 	start := time.Now()
 
-	switch strings.ToLower(*algo) {
-	case "pagerank":
-		g, err := algorithms.NewPageRankGraph(adj, 0)
-		if err != nil {
-			fatal("%v", err)
-		}
-		build := time.Since(start)
-		start = time.Now()
-		ranks, stats := algorithms.PageRank(g, algorithms.PageRankOptions{MaxIterations: *iters, Config: cfg})
-		report(build, time.Since(start), stats.Iterations)
-		printTopFloat(ranks, *top, "rank")
-	case "bfs":
-		g, err := algorithms.NewBFSGraph(adj, 0)
-		if err != nil {
-			fatal("%v", err)
-		}
-		build := time.Since(start)
-		start = time.Now()
-		dist, stats := algorithms.BFS(g, uint32(*source), cfg)
-		report(build, time.Since(start), stats.Iterations)
-		reached := 0
-		for _, d := range dist {
-			if d != algorithms.Unreached {
-				reached++
-			}
-		}
-		fmt.Printf("reached %d/%d vertices from %d\n", reached, len(dist), *source)
-	case "sssp":
-		g, err := algorithms.NewSSSPGraph(adj, 0)
-		if err != nil {
-			fatal("%v", err)
-		}
-		build := time.Since(start)
-		start = time.Now()
-		dist, stats := algorithms.SSSP(g, uint32(*source), cfg)
-		report(build, time.Since(start), stats.Iterations)
-		reached, sum := 0, 0.0
-		for _, d := range dist {
-			if d != algorithms.InfDist {
-				reached++
-				sum += float64(d)
-			}
-		}
-		fmt.Printf("reached %d/%d vertices from %d; mean distance %.2f\n",
-			reached, len(dist), *source, sum/float64(max(reached, 1)))
-	case "triangles":
-		g, err := algorithms.NewTriangleGraph(adj, 0)
-		if err != nil {
-			fatal("%v", err)
-		}
-		build := time.Since(start)
-		start = time.Now()
-		count, stats := algorithms.TriangleCount(g, cfg)
-		report(build, time.Since(start), stats.Iterations)
-		fmt.Printf("triangles: %d\n", count)
+	name := strings.ToLower(*algo)
+	if name == "cc" { // historical CLI name for connected components
+		name = "components"
+	}
+	switch name {
 	case "cf":
 		g, err := algorithms.NewCFGraph(adj, 0)
 		if err != nil {
@@ -113,20 +66,7 @@ func main() {
 		_, stats := algorithms.CF(g, algorithms.CFOptions{Iterations: *iters, Config: cfg})
 		report(build, time.Since(start), stats.Iterations)
 		fmt.Printf("factorized %d vertices into %d latent dimensions\n", g.NumVertices(), algorithms.LatentDim)
-	case "cc":
-		g, err := algorithms.NewCCGraph(adj, 0)
-		if err != nil {
-			fatal("%v", err)
-		}
-		build := time.Since(start)
-		start = time.Now()
-		labels, stats := algorithms.ConnectedComponents(g, cfg)
-		report(build, time.Since(start), stats.Iterations)
-		comps := map[uint32]int{}
-		for _, l := range labels {
-			comps[l]++
-		}
-		fmt.Printf("connected components: %d\n", len(comps))
+		return
 	case "degrees":
 		g, err := graphmat.New[uint32](adj, graphmat.Options{})
 		if err != nil {
@@ -141,8 +81,63 @@ func main() {
 			ranks[i] = float64(d)
 		}
 		printTopFloat(ranks, *top, "in-degree")
-	default:
-		fatal("unknown algorithm %q", *algo)
+		return
+	}
+
+	spec, ok := algorithms.Lookup(name)
+	if !ok {
+		fatal("unknown algorithm %q (have %s, cf, degrees)", *algo, strings.Join(algorithms.Names(), ", "))
+	}
+	inst, err := spec.Build(adj, 0)
+	if err != nil {
+		fatal("%v", err)
+	}
+	build := time.Since(start)
+	params := algorithms.Params{Source: uint32(*source), Iterations: *iters, Threads: *threads}
+	start = time.Now()
+	res, err := inst.Run(params, nil)
+	if err != nil {
+		fatal("%v", err)
+	}
+	report(build, time.Since(start), res.Stats.Iterations)
+	printResult(name, res, *source, *top)
+}
+
+// printResult renders the registry's uniform result shape with the summary
+// each algorithm's output is usually read for.
+func printResult(name string, res algorithms.Result, source uint, top int) {
+	switch name {
+	case "bfs":
+		reached := 0
+		for _, d := range res.Values {
+			if d != float64(algorithms.Unreached) {
+				reached++
+			}
+		}
+		fmt.Printf("reached %d/%d vertices from %d\n", reached, len(res.Values), source)
+	case "sssp":
+		reached, sum := 0, 0.0
+		for _, d := range res.Values {
+			if d != float64(algorithms.InfDist) {
+				reached++
+				sum += d
+			}
+		}
+		fmt.Printf("reached %d/%d vertices from %d; mean distance %.2f\n",
+			reached, len(res.Values), source, sum/float64(max(reached, 1)))
+	case "components":
+		comps := map[float64]int{}
+		for _, l := range res.Values {
+			comps[l]++
+		}
+		fmt.Printf("connected components: %d\n", len(comps))
+	case "triangles":
+		fmt.Printf("triangles: %d\n", *res.Count)
+	case "hits":
+		printTopFloat(res.Series["auth"], top, "authority")
+		printTopFloat(res.Series["hub"], top, "hub")
+	default: // pagerank, ppr: a ranked per-vertex series
+		printTopFloat(res.Values, top, "rank")
 	}
 }
 

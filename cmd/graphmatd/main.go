@@ -1,0 +1,101 @@
+// Command graphmatd is the GraphMat analytics service: a long-running HTTP
+// daemon that keeps graphs and engine scratch resident so many clients share
+// one loaded graph across queries (the RedisGraph deployment model for a
+// GraphBLAS-style engine).
+//
+// Usage:
+//
+//	graphmatd -addr :8765 -graph web=data/web.mtx -graph social=rmat:scale=16,edgefactor=16,seed=1
+//
+// Endpoints:
+//
+//	GET    /healthz                    liveness
+//	GET    /stats                      per-endpoint, per-algorithm and cache tallies
+//	GET    /algorithms                 available algorithms and their parameters
+//	GET    /graphs                     registered graphs
+//	POST   /graphs                     register a graph: {"name":..., "path":...} or {"name":..., "generator":"rmat", "scale":14, ...}
+//	GET    /graphs/{name}              one graph's details
+//	DELETE /graphs/{name}              unregister a graph
+//	POST   /graphs/{name}/run/{algo}   run an algorithm; body holds its parameters
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"graphmat/internal/server"
+)
+
+// graphFlags collects repeated -graph name=spec values.
+type graphFlags []string
+
+func (g *graphFlags) String() string { return strings.Join(*g, ", ") }
+
+func (g *graphFlags) Set(v string) error {
+	*g = append(*g, v)
+	return nil
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8765", "listen address")
+		cacheSize  = flag.Int("cache", 128, "result-cache capacity in entries (negative disables)")
+		partitions = flag.Int("partitions", 0, "matrix partitions per graph build (0 = auto)")
+		quiet      = flag.Bool("quiet", false, "suppress per-request logging")
+		graphs     graphFlags
+	)
+	flag.Var(&graphs, "graph", "preload a graph as name=spec; spec is a file path or generator:k=v,... (repeatable)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "graphmatd: ", log.LstdFlags)
+	reqLogger := logger
+	if *quiet {
+		reqLogger = nil
+	}
+	srv := server.New(server.Config{CacheSize: *cacheSize, Partitions: *partitions, Logger: reqLogger})
+
+	for _, spec := range graphs {
+		name, rest, ok := strings.Cut(spec, "=")
+		if !ok || name == "" {
+			logger.Fatalf("-graph %q: want name=path or name=generator:k=v,...", spec)
+		}
+		src, err := server.ParseSourceSpec(rest)
+		if err != nil {
+			logger.Fatalf("-graph %s: %v", name, err)
+		}
+		start := time.Now()
+		if err := srv.AddGraph(name, src); err != nil {
+			logger.Fatalf("-graph %s: %v", name, err)
+		}
+		logger.Printf("loaded %s (%s) in %s", name, src.Describe(), time.Since(start).Round(time.Millisecond))
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logger.Printf("serving on %s", *addr)
+
+	select {
+	case err := <-errc:
+		logger.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+		logger.Printf("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "graphmatd: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package datagen_test
+
+import (
+	"testing"
+
+	"graphmat"
+	"graphmat/datagen"
+)
+
+func sameTriples(a, b *graphmat.COO[float32]) bool {
+	if a.NRows != b.NRows || a.NCols != b.NCols || len(a.Entries) != len(b.Entries) {
+		return false
+	}
+	for i := range a.Entries {
+		if a.Entries[i] != b.Entries[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRMATDeterministic checks that generation is a pure function of the
+// seed — the property every reproduction experiment and the server's cache
+// key rely on.
+func TestRMATDeterministic(t *testing.T) {
+	opt := datagen.RMATOptions{Scale: 8, EdgeFactor: 8, Seed: 7, MaxWeight: 10}
+	a := datagen.RMAT(opt)
+	b := datagen.RMAT(opt)
+	if !sameTriples(a, b) {
+		t.Fatal("same seed produced different graphs")
+	}
+	opt.Seed = 8
+	if sameTriples(a, datagen.RMAT(opt)) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestRMATWellFormed(t *testing.T) {
+	const scale, ef = 9, 4
+	adj := datagen.RMAT(datagen.RMATOptions{Scale: scale, EdgeFactor: ef, Seed: 3, MaxWeight: 5})
+	n := uint32(1) << scale
+	if adj.NRows != n || adj.NCols != n {
+		t.Fatalf("dims %dx%d, want %dx%d", adj.NRows, adj.NCols, n, n)
+	}
+	if got, want := len(adj.Entries), int(n)*ef; got != want {
+		t.Fatalf("%d edges, want %d", got, want)
+	}
+	if err := adj.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range adj.Entries {
+		if e.Row >= n || e.Col >= n {
+			t.Fatalf("edge (%d,%d) out of range", e.Row, e.Col)
+		}
+		if e.Val < 1 || e.Val > 5 {
+			t.Fatalf("weight %v outside [1,5]", e.Val)
+		}
+	}
+}
+
+// TestRMATParameterSets checks the paper's three quadrant-probability
+// presets are wired through.
+func TestRMATParameterSets(t *testing.T) {
+	if datagen.Graph500.A != 0.57 || datagen.Graph500.B != 0.19 || datagen.Graph500.C != 0.19 {
+		t.Fatalf("Graph500 = %+v", datagen.Graph500)
+	}
+	if datagen.Triangle.A != 0.45 || datagen.Triangle.B != 0.15 {
+		t.Fatalf("Triangle = %+v", datagen.Triangle)
+	}
+	if datagen.SSSP24.A != 0.50 || datagen.SSSP24.B != 0.10 {
+		t.Fatalf("SSSP24 = %+v", datagen.SSSP24)
+	}
+	a := datagen.RMAT(datagen.RMATOptions{Scale: 7, EdgeFactor: 4, Seed: 1, Params: datagen.Graph500})
+	b := datagen.RMAT(datagen.RMATOptions{Scale: 7, EdgeFactor: 4, Seed: 1, Params: datagen.Triangle})
+	if sameTriples(a, b) {
+		t.Fatal("parameter set has no effect on generation")
+	}
+}
+
+func TestGridDeterministicAndWellFormed(t *testing.T) {
+	const w, h = 12, 9
+	opt := datagen.GridOptions{Width: w, Height: h, Seed: 4}
+	a := datagen.Grid(opt)
+	if !sameTriples(a, datagen.Grid(opt)) {
+		t.Fatal("same seed produced different grids")
+	}
+	// A w x h 4-neighbor grid has h*(w-1) horizontal + w*(h-1) vertical
+	// undirected edges, each stored in both directions.
+	want := 2 * (h*(w-1) + w*(h-1))
+	if len(a.Entries) != want {
+		t.Fatalf("%d edges, want %d", len(a.Entries), want)
+	}
+	if a.NRows != w*h {
+		t.Fatalf("vertices %d, want %d", a.NRows, w*h)
+	}
+	for _, e := range a.Entries {
+		if e.Val < 1 || e.Val > 10 {
+			t.Fatalf("weight %v outside default [1,10]", e.Val)
+		}
+		// 4-neighbor edges connect horizontal or vertical neighbors only.
+		dr := int64(e.Row) - int64(e.Col)
+		if dr < 0 {
+			dr = -dr
+		}
+		if dr != 1 && dr != w {
+			t.Fatalf("edge (%d,%d) is not a grid neighbor", e.Row, e.Col)
+		}
+	}
+}
+
+func TestBipartiteDeterministicAndWellFormed(t *testing.T) {
+	opt := datagen.BipartiteOptions{Users: 100, Items: 30, Ratings: 500, Seed: 11}
+	a := datagen.Bipartite(opt)
+	if !sameTriples(a, datagen.Bipartite(opt)) {
+		t.Fatal("same seed produced different ratings graphs")
+	}
+	if a.NRows != 130 {
+		t.Fatalf("vertices %d, want 130", a.NRows)
+	}
+	if len(a.Entries) != 500 {
+		t.Fatalf("%d ratings, want 500", len(a.Entries))
+	}
+	for _, e := range a.Entries {
+		if e.Row >= 100 {
+			t.Fatalf("rating source %d is not a user", e.Row)
+		}
+		if e.Col < 100 || e.Col >= 130 {
+			t.Fatalf("rating target %d is not an item", e.Col)
+		}
+		if e.Val < 1 || e.Val > 5 {
+			t.Fatalf("rating %v outside the 1..5 scale", e.Val)
+		}
+	}
+}

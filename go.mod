@@ -1,0 +1,3 @@
+module graphmat
+
+go 1.24

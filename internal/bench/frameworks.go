@@ -58,11 +58,7 @@ func maxOutDegreeVertex(c *sparse.COO[float32]) uint32 {
 
 // graphMatSet maps engine stats onto the counter proxies.
 func graphMatSet(s graphmat.Stats) counters.Set {
-	return counters.Set{
-		WorkItems:     s.MessagesSent + 2*s.EdgesProcessed + s.Applies + s.ColumnsProbed,
-		RandomTouches: s.EdgesProcessed + s.Applies,
-		StreamedBytes: 8*s.EdgesProcessed + 8*s.ColumnsProbed + 8*s.MessagesSent,
-	}
+	return counters.FromEngine(s.MessagesSent, s.EdgesProcessed, s.Applies, s.ColumnsProbed, 0)
 }
 
 func vertexSet(s vertexengine.Stats) counters.Set {

@@ -33,6 +33,38 @@ func NewWorkspace[M, R any](n int, kind VectorKind) *Workspace[M, R] {
 	return ws
 }
 
+// Size reports the vertex count the workspace was allocated for.
+func (ws *Workspace[M, R]) Size() int { return ws.n }
+
+// Kind reports the message-vector representation the workspace holds.
+func (ws *Workspace[M, R]) Kind() VectorKind { return ws.kind }
+
+// Check reports whether the workspace can serve a run over an n-vertex graph
+// with the given message-vector kind. Pools that hand workspaces to
+// back-to-back runs use it to validate a pooled workspace before reuse.
+func (ws *Workspace[M, R]) Check(n int, kind VectorKind) error {
+	if ws.n != n {
+		return fmt.Errorf("core: workspace sized for %d vertices, graph has %d", ws.n, n)
+	}
+	if ws.kind != kind {
+		return fmt.Errorf("core: workspace vector kind %d does not match config %d", ws.kind, kind)
+	}
+	return nil
+}
+
+// Reset clears the scratch vectors. The engine resets them at the start of
+// every superstep, so Reset is not required between runs; pools call it when
+// recycling a workspace so stale messages never leak across queries.
+func (ws *Workspace[M, R]) Reset() {
+	if ws.x != nil {
+		ws.x.Reset()
+	}
+	if ws.xs != nil {
+		ws.xs.Reset()
+	}
+	ws.y.Reset()
+}
+
 // RunWithWorkspace is Run with caller-managed scratch. The workspace must
 // have been created for the graph's vertex count and the configuration's
 // vector kind; mismatches error. The boxed (naive) dispatch path manages its
@@ -44,11 +76,8 @@ func RunWithWorkspace[V, E, M, R any, P Program[V, E, M, R]](
 	if cfg.Dispatch == Boxed {
 		return runBoxed(g, p, cfg), nil
 	}
-	if ws.n != int(g.NumVertices()) {
-		return Stats{}, fmt.Errorf("core: workspace sized for %d vertices, graph has %d", ws.n, g.NumVertices())
-	}
-	if ws.kind != cfg.Vector {
-		return Stats{}, fmt.Errorf("core: workspace vector kind %d does not match config %d", ws.kind, cfg.Vector)
+	if err := ws.Check(int(g.NumVertices()), cfg.Vector); err != nil {
+		return Stats{}, err
 	}
 	return runTyped(g, p, cfg, ws), nil
 }

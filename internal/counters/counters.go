@@ -33,6 +33,23 @@ type Set struct {
 	WallSeconds   float64
 }
 
+// FromEngine maps the GraphMat engine's exact work tallies onto the counter
+// proxies — the single definition shared by the Figure 6 bench harness and
+// the analytics server's /stats endpoint. The arguments are the core.Stats
+// fields (passed individually so this leaf package needs no engine import):
+// every message is one work item, every edge traversal a process+reduce pair
+// with one random destination touch, every apply a random property touch,
+// and probes/messages/edges stream 8 bytes each through the compressed
+// structures.
+func FromEngine(messagesSent, edgesProcessed, applies, columnsProbed int64, wall float64) Set {
+	return Set{
+		WorkItems:     messagesSent + 2*edgesProcessed + applies + columnsProbed,
+		RandomTouches: edgesProcessed + applies,
+		StreamedBytes: 8*edgesProcessed + 8*columnsProbed + 8*messagesSent,
+		WallSeconds:   wall,
+	}
+}
+
 // Add accumulates another record (multi-phase runs).
 func (s *Set) Add(o Set) {
 	s.WorkItems += o.WorkItems

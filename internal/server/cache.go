@@ -1,0 +1,104 @@
+package server
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+
+	"graphmat/algorithms"
+)
+
+// resultCache is an LRU cache of algorithm results keyed on
+// (graph, algorithm, canonical params). Results are immutable once computed
+// (the engine is deterministic, including across thread counts), so a hit
+// can be served to any client without re-running the engine.
+type resultCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	hits     int64
+	misses   int64
+}
+
+type cacheItem struct {
+	key string
+	res algorithms.Result
+}
+
+// cacheKey builds the canonical cache key. The graph name goes first so
+// invalidation on graph removal is a prefix scan; \x00 cannot appear in
+// names (the registry rejects them).
+func cacheKey(graph, algo string, p algorithms.Params) string {
+	return graph + "\x00" + algo + "\x00" + p.Key()
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+func (c *resultCache) get(key string) (algorithms.Result, bool) {
+	if c.capacity <= 0 {
+		return algorithms.Result{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return algorithms.Result{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).res, true
+}
+
+func (c *resultCache) put(key string, res algorithms.Result) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheItem).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, res: res})
+	for c.ll.Len() > c.capacity {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheItem).key)
+	}
+}
+
+// invalidateGraph drops every cached result of the named graph.
+func (c *resultCache) invalidateGraph(graph string) {
+	prefix := graph + "\x00"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, el := range c.items {
+		if strings.HasPrefix(key, prefix) {
+			c.ll.Remove(el)
+			delete(c.items, key)
+		}
+	}
+}
+
+// cacheStats is the /stats view of the cache.
+type cacheStats struct {
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Size     int   `json:"size"`
+	Capacity int   `json:"capacity"`
+}
+
+func (c *resultCache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{Hits: c.hits, Misses: c.misses, Size: c.ll.Len(), Capacity: c.capacity}
+}

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"testing"
+
+	"graphmat/algorithms"
+)
+
+func res(v float64) algorithms.Result {
+	return algorithms.Result{Values: []float64{v}}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", res(1))
+	c.put("b", res(2))
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted too early")
+	}
+	// a is now most-recent; adding c evicts b.
+	c.put("c", res(3))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should survive (recently used)")
+	}
+	if got, ok := c.get("c"); !ok || got.Values[0] != 3 {
+		t.Fatalf("c = %v, %v", got, ok)
+	}
+	st := c.stats()
+	if st.Size != 2 || st.Capacity != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheUpdateExisting(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", res(1))
+	c.put("a", res(9))
+	got, ok := c.get("a")
+	if !ok || got.Values[0] != 9 {
+		t.Fatalf("a = %v, %v", got, ok)
+	}
+	if st := c.stats(); st.Size != 1 {
+		t.Fatalf("size = %d after double put", st.Size)
+	}
+}
+
+func TestCacheInvalidateGraph(t *testing.T) {
+	c := newResultCache(8)
+	c.put(cacheKey("g1", "bfs", algorithms.Params{Source: 1}), res(1))
+	c.put(cacheKey("g1", "sssp", algorithms.Params{Source: 1}), res(2))
+	c.put(cacheKey("g2", "bfs", algorithms.Params{Source: 1}), res(3))
+	c.invalidateGraph("g1")
+	if _, ok := c.get(cacheKey("g1", "bfs", algorithms.Params{Source: 1})); ok {
+		t.Fatal("g1/bfs survived invalidation")
+	}
+	if _, ok := c.get(cacheKey("g1", "sssp", algorithms.Params{Source: 1})); ok {
+		t.Fatal("g1/sssp survived invalidation")
+	}
+	if _, ok := c.get(cacheKey("g2", "bfs", algorithms.Params{Source: 1})); !ok {
+		t.Fatal("g2 wrongly invalidated")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(-1)
+	c.put("a", res(1))
+	if _, ok := c.get("a"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+}
+
+func TestCacheKeyDistinguishesGraphAndAlgo(t *testing.T) {
+	p := algorithms.Params{Source: 1}
+	keys := map[string]bool{
+		cacheKey("g1", "bfs", p):                                           true,
+		cacheKey("g2", "bfs", p):                                           true,
+		cacheKey("g1", "sssp", p):                                          true,
+		cacheKey("g1", "bfs", algorithms.Params{}):                         true,
+		cacheKey("g1", "bfs", algorithms.Params{Source: 1, Iterations: 3}): true,
+	}
+	if len(keys) != 5 {
+		t.Fatalf("cache keys collide: %v", keys)
+	}
+}

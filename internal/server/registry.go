@@ -1,0 +1,262 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphmat"
+	"graphmat/algorithms"
+	"graphmat/internal/counters"
+	"graphmat/internal/sparse"
+)
+
+// Registry is the server's concurrent-safe table of loaded graphs. Each
+// entry keeps the raw adjacency triples as an immutable master copy;
+// algorithm-specific property graphs (which preprocess the edges in place)
+// are built lazily from clones and cached per algorithm, each with its own
+// workspace pool.
+type Registry struct {
+	partitions int
+	mu         sync.RWMutex
+	graphs     map[string]*GraphEntry
+}
+
+// NewRegistry returns an empty registry. partitions is passed to every graph
+// build; 0 selects the engine default.
+func NewRegistry(partitions int) *Registry {
+	return &Registry{partitions: partitions, graphs: make(map[string]*GraphEntry)}
+}
+
+// GraphEntry is one registered graph.
+type GraphEntry struct {
+	name       string
+	source     string
+	adj        *sparse.COO[float32] // master copy; never mutated after Add
+	partitions int
+
+	mu    sync.Mutex
+	insts map[string]*algoInstance
+}
+
+// algoInstance is one built (graph, algorithm) pair: the property graph, a
+// sync.Pool of engine workspaces reused across queries, and run tallies. Run
+// serializes on runMu because the engine mutates the property graph's vertex
+// state; the workspace pool means back-to-back queries reuse scratch instead
+// of paying two vertex-sized allocations each (the RedisGraph-style shared
+// engine state this server exists to provide).
+type algoInstance struct {
+	spec algorithms.Spec
+	inst algorithms.Instance
+
+	runMu  sync.Mutex
+	pool   sync.Pool
+	allocs atomic.Int64 // workspaces created by the pool
+	runs   atomic.Int64
+
+	statsMu sync.Mutex
+	engine  graphmat.Stats
+	wall    float64 // seconds spent inside the engine
+}
+
+// Errors distinguished by the HTTP layer.
+var (
+	ErrGraphExists   = fmt.Errorf("graph already registered")
+	ErrGraphNotFound = fmt.Errorf("graph not found")
+	ErrAlgoNotFound  = fmt.Errorf("algorithm not found")
+)
+
+// Add loads a source and registers it under name.
+func (r *Registry) Add(name string, src Source) (*GraphEntry, error) {
+	if name == "" || strings.ContainsAny(name, "\x00/") {
+		return nil, fmt.Errorf("invalid graph name %q", name)
+	}
+	adj, err := src.Load()
+	if err != nil {
+		return nil, err
+	}
+	entry := &GraphEntry{
+		name:       name,
+		source:     src.Describe(),
+		adj:        adj,
+		partitions: r.partitions,
+		insts:      make(map[string]*algoInstance),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.graphs[name]; dup {
+		return nil, fmt.Errorf("%w: %s", ErrGraphExists, name)
+	}
+	r.graphs[name] = entry
+	return entry, nil
+}
+
+// Get looks a graph up by name.
+func (r *Registry) Get(name string) (*GraphEntry, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	entry, ok := r.graphs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrGraphNotFound, name)
+	}
+	return entry, nil
+}
+
+// Has reports whether the exact entry is still registered (used to avoid
+// caching results of a graph deleted mid-run).
+func (r *Registry) Has(entry *GraphEntry) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.graphs[entry.name] == entry
+}
+
+// Remove unregisters a graph; in-flight runs on the entry finish normally.
+func (r *Registry) Remove(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.graphs[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrGraphNotFound, name)
+	}
+	delete(r.graphs, name)
+	return nil
+}
+
+// Names returns the registered graph names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.graphs))
+	for n := range r.graphs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Name returns the graph's registered name.
+func (g *GraphEntry) Name() string { return g.name }
+
+// Source describes where the graph came from.
+func (g *GraphEntry) Source() string { return g.source }
+
+// NumVertices reports the raw graph's vertex count.
+func (g *GraphEntry) NumVertices() uint32 { return g.adj.NRows }
+
+// NumEdges reports the raw edge count (before per-algorithm preprocessing).
+func (g *GraphEntry) NumEdges() int { return g.adj.NNZ() }
+
+// BuiltAlgorithms returns the algorithms with a built property graph, sorted.
+func (g *GraphEntry) BuiltAlgorithms() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	names := make([]string, 0, len(g.insts))
+	for n := range g.insts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// instance returns the built (graph, algorithm) pair, building it on first
+// use. The build consumes a clone, so the master adjacency stays pristine
+// for the other algorithms' preprocessing.
+func (g *GraphEntry) instance(algo string) (*algoInstance, error) {
+	spec, ok := algorithms.Lookup(algo)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrAlgoNotFound, algo)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if ai, ok := g.insts[algo]; ok {
+		return ai, nil
+	}
+	inst, err := spec.Build(g.adj.Clone(), g.partitions)
+	if err != nil {
+		return nil, fmt.Errorf("building %s graph for %s: %w", algo, g.name, err)
+	}
+	ai := &algoInstance{spec: spec, inst: inst}
+	ai.pool.New = func() any {
+		ai.allocs.Add(1)
+		return ai.inst.NewScratch()
+	}
+	g.insts[algo] = ai
+	return ai, nil
+}
+
+// Run executes one query. It serializes on the instance (vertex state is
+// shared), drives the engine through a pooled workspace, and accumulates the
+// run's engine stats into the instance tallies.
+func (g *GraphEntry) Run(algo string, p algorithms.Params) (algorithms.Result, error) {
+	ai, err := g.instance(algo)
+	if err != nil {
+		return algorithms.Result{}, err
+	}
+	ai.runMu.Lock()
+	defer ai.runMu.Unlock()
+	scratch := ai.pool.Get()
+	start := time.Now()
+	res, err := ai.inst.Run(p, scratch)
+	wall := time.Since(start).Seconds()
+	if rs, ok := scratch.(interface{ Reset() }); ok {
+		rs.Reset() // stale messages must not leak into the next query
+	}
+	ai.pool.Put(scratch)
+	if err != nil {
+		return res, err
+	}
+	ai.runs.Add(1)
+	ai.statsMu.Lock()
+	ai.engine.Iterations += res.Stats.Iterations
+	ai.engine.MessagesSent += res.Stats.MessagesSent
+	ai.engine.EdgesProcessed += res.Stats.EdgesProcessed
+	ai.engine.Applies += res.Stats.Applies
+	ai.engine.ActiveSum += res.Stats.ActiveSum
+	ai.engine.ColumnsProbed += res.Stats.ColumnsProbed
+	ai.wall += wall
+	ai.statsMu.Unlock()
+	return res, nil
+}
+
+// AlgoStats is the /stats view of one (graph, algorithm) pair.
+type AlgoStats struct {
+	Runs int64 `json:"runs"`
+	// WorkspaceAllocs counts workspaces the pool actually created; runs
+	// beyond this number reused pooled scratch.
+	WorkspaceAllocs int64          `json:"workspace_allocs"`
+	Engine          graphmat.Stats `json:"engine"`
+	Counters        counters.Set   `json:"counters"`
+}
+
+// Stats snapshots the per-algorithm tallies for this graph.
+func (g *GraphEntry) Stats() map[string]AlgoStats {
+	g.mu.Lock()
+	insts := make(map[string]*algoInstance, len(g.insts))
+	for n, ai := range g.insts {
+		insts[n] = ai
+	}
+	g.mu.Unlock()
+
+	out := make(map[string]AlgoStats, len(insts))
+	for n, ai := range insts {
+		ai.statsMu.Lock()
+		engine, wall := ai.engine, ai.wall
+		ai.statsMu.Unlock()
+		out[n] = AlgoStats{
+			Runs:            ai.runs.Load(),
+			WorkspaceAllocs: ai.allocs.Load(),
+			Engine:          engine,
+			Counters:        counterSet(engine, wall),
+		}
+	}
+	return out
+}
+
+// counterSet maps engine stats onto the internal/counters proxies (the
+// shared Figure 6 mapping), plus the measured wall time so bandwidth and
+// work-rate axes are defined.
+func counterSet(s graphmat.Stats, wall float64) counters.Set {
+	return counters.FromEngine(s.MessagesSent, s.EdgesProcessed, s.Applies, s.ColumnsProbed, wall)
+}

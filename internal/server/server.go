@@ -1,0 +1,319 @@
+// Package server implements graphmatd, the long-running graph analytics
+// service: a registry of loaded graphs, per-graph pools of reusable engine
+// workspaces, a named-algorithm dispatch table over the algorithms registry,
+// an LRU result cache, and an HTTP/JSON API. The design follows RedisGraph
+// (Cailliau et al., 2019): a GraphBLAS-style engine gains most of its
+// serving throughput from keeping graphs and engine scratch resident across
+// queries rather than rebuilding them per request.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"graphmat/algorithms"
+)
+
+// Config configures a Server.
+type Config struct {
+	// CacheSize is the LRU result-cache capacity in entries; 0 means the
+	// default (128), negative disables caching.
+	CacheSize int
+	// Partitions is the matrix partition count for graph builds; 0 selects
+	// the engine default.
+	Partitions int
+	// Logger, when set, receives one line per request.
+	Logger *log.Logger
+}
+
+// Server is the graphmatd HTTP service.
+type Server struct {
+	cfg   Config
+	reg   *Registry
+	cache *resultCache
+	mux   *http.ServeMux
+	start time.Time
+
+	epMu     sync.Mutex
+	requests map[string]int64
+}
+
+// New builds a server with no graphs loaded.
+func New(cfg Config) *Server {
+	size := cfg.CacheSize
+	if size == 0 {
+		size = 128
+	}
+	s := &Server{
+		cfg:      cfg,
+		reg:      NewRegistry(cfg.Partitions),
+		cache:    newResultCache(size),
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		requests: make(map[string]int64),
+	}
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /stats", s.handleStats)
+	s.handle("GET /algorithms", s.handleAlgorithms)
+	s.handle("GET /graphs", s.handleListGraphs)
+	s.handle("POST /graphs", s.handleAddGraph)
+	s.handle("GET /graphs/{name}", s.handleGetGraph)
+	s.handle("DELETE /graphs/{name}", s.handleDeleteGraph)
+	s.handle("POST /graphs/{name}/run/{algo}", s.handleRun)
+	return s
+}
+
+// AddGraph loads a source and registers it (the -graph preload path).
+func (s *Server) AddGraph(name string, src Source) error {
+	_, err := s.reg.Add(name, src)
+	return err
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// handle registers a pattern with per-endpoint request counting and optional
+// request logging — the tallies surface in GET /stats.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		s.epMu.Lock()
+		s.requests[pattern]++
+		s.epMu.Unlock()
+		if s.cfg.Logger != nil {
+			start := time.Now()
+			h(w, r)
+			s.cfg.Logger.Printf("%s %s (%s)", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+			return
+		}
+		h(w, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// errorCode maps registry errors to HTTP statuses.
+func errorCode(err error) int {
+	switch {
+	case errors.Is(err, ErrGraphNotFound), errors.Is(err, ErrAlgoNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrGraphExists):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "graphs": len(s.reg.Names())})
+}
+
+// graphInfo is the JSON view of one registered graph.
+type graphInfo struct {
+	Name     string   `json:"name"`
+	Source   string   `json:"source"`
+	Vertices uint32   `json:"vertices"`
+	Edges    int      `json:"edges"`
+	Built    []string `json:"built_algorithms,omitempty"`
+}
+
+func infoOf(g *GraphEntry) graphInfo {
+	return graphInfo{
+		Name:     g.Name(),
+		Source:   g.Source(),
+		Vertices: g.NumVertices(),
+		Edges:    g.NumEdges(),
+		Built:    g.BuiltAlgorithms(),
+	}
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	names := s.reg.Names()
+	infos := make([]graphInfo, 0, len(names))
+	for _, n := range names {
+		if g, err := s.reg.Get(n); err == nil {
+			infos = append(infos, infoOf(g))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": infos})
+}
+
+// addGraphRequest is the POST /graphs body: a name plus a flattened Source.
+type addGraphRequest struct {
+	Name string `json:"name"`
+	Source
+}
+
+func (s *Server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
+	var req addGraphRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	entry, err := s.reg.Add(req.Name, req.Source)
+	if err != nil {
+		writeError(w, errorCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, infoOf(entry))
+}
+
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	g, err := s.reg.Get(r.PathValue("name"))
+	if err != nil {
+		writeError(w, errorCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, infoOf(g))
+}
+
+func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.reg.Remove(name); err != nil {
+		writeError(w, errorCode(err), "%v", err)
+		return
+	}
+	s.cache.invalidateGraph(name)
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+// algorithmInfo is the GET /algorithms view of one registry spec.
+type algorithmInfo struct {
+	Name        string          `json:"name"`
+	Description string          `json:"description"`
+	Params      []algoParamInfo `json:"params"`
+}
+
+type algoParamInfo struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	Desc string `json:"desc"`
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	specs := algorithms.Specs()
+	infos := make([]algorithmInfo, 0, len(specs))
+	for _, spec := range specs {
+		info := algorithmInfo{Name: spec.Name, Description: spec.Description, Params: []algoParamInfo{}}
+		for _, p := range spec.Params {
+			info.Params = append(info.Params, algoParamInfo{Name: p.Name, Kind: p.Kind.String(), Desc: p.Desc})
+		}
+		infos = append(infos, info)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"algorithms": infos})
+}
+
+// runResponse is the POST /graphs/{name}/run/{algo} reply: the uniform
+// algorithm result plus query metadata.
+type runResponse struct {
+	Graph      string  `json:"graph"`
+	Algorithm  string  `json:"algorithm"`
+	Cached     bool    `json:"cached"`
+	DurationMS float64 `json:"duration_ms"`
+	algorithms.Result
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	name, algo := r.PathValue("name"), r.PathValue("algo")
+	g, err := s.reg.Get(name)
+	if err != nil {
+		writeError(w, errorCode(err), "%v", err)
+		return
+	}
+	spec, ok := algorithms.Lookup(algo)
+	if !ok {
+		writeError(w, http.StatusNotFound, "%v: %s (have %v)", ErrAlgoNotFound, algo, algorithms.Names())
+		return
+	}
+	raw := map[string]any{}
+	if err := decodeJSON(r, &raw); err != nil && err != io.EOF {
+		writeError(w, http.StatusBadRequest, "decoding params: %v", err)
+		return
+	}
+	params, err := spec.ParseParams(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	key := cacheKey(name, algo, params)
+	if res, ok := s.cache.get(key); ok {
+		writeJSON(w, http.StatusOK, runResponse{Graph: name, Algorithm: algo, Cached: true, Result: res})
+		return
+	}
+	start := time.Now()
+	res, err := g.Run(algo, params)
+	if err != nil {
+		writeError(w, errorCode(err), "%v", err)
+		return
+	}
+	// Don't cache under a name whose graph was deleted (or replaced)
+	// mid-run: the next registration of that name must never see it. The
+	// liveness check comes AFTER the put — if a concurrent delete's
+	// invalidation raced between our put and this check, Has is false and
+	// we invalidate again; checking before the put would leave a window
+	// where the stale entry survives.
+	s.cache.put(key, res)
+	if !s.reg.Has(g) {
+		s.cache.invalidateGraph(name)
+	}
+	writeJSON(w, http.StatusOK, runResponse{
+		Graph:      name,
+		Algorithm:  algo,
+		DurationMS: float64(time.Since(start).Microseconds()) / 1000,
+		Result:     res,
+	})
+}
+
+// statsResponse is the GET /stats reply.
+type statsResponse struct {
+	UptimeSeconds float64                         `json:"uptime_seconds"`
+	Requests      map[string]int64                `json:"requests"`
+	Cache         cacheStats                      `json:"cache"`
+	Graphs        map[string]map[string]AlgoStats `json:"graphs"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.epMu.Lock()
+	reqs := make(map[string]int64, len(s.requests))
+	for k, v := range s.requests {
+		reqs[k] = v
+	}
+	s.epMu.Unlock()
+
+	graphs := make(map[string]map[string]AlgoStats)
+	for _, n := range s.reg.Names() {
+		if g, err := s.reg.Get(n); err == nil {
+			graphs[n] = g.Stats()
+		}
+	}
+	writeJSON(w, http.StatusOK, statsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      reqs,
+		Cache:         s.cache.stats(),
+		Graphs:        graphs,
+	})
+}
+
+// decodeJSON strictly decodes a request body; empty bodies return io.EOF.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
