@@ -3,21 +3,31 @@
 
 GO ?= go
 
-.PHONY: all build fmt lint test race bench ci
+.PHONY: all build fmt lint staticcheck test race bench ci
 
 all: build
 
 build:
 	$(GO) build ./...
+	$(GO) build ./examples/... ./cmd/...
 
 fmt:
 	gofmt -w .
 
-# lint = the non-test static gates CI runs: formatting and vet.
-lint:
+# lint = the non-test static gates CI runs: formatting, vet and staticcheck.
+lint: staticcheck
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+
+# CI installs staticcheck; locally it runs only if already on PATH, so the
+# target works on offline machines.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
 
 test:
 	$(GO) test ./...

@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"context"
 	"math"
 
 	"graphmat"
@@ -64,17 +65,22 @@ func BFS(g *graphmat.Graph[uint32, float32], root uint32, cfg graphmat.Config) (
 // BFSWithWorkspace is BFS with caller-managed engine scratch for repeated
 // traversals on one graph.
 func BFSWithWorkspace(g *graphmat.Graph[uint32, float32], root uint32, cfg graphmat.Config, ws *graphmat.Workspace[uint32, uint32]) ([]uint32, graphmat.Stats, error) {
+	return BFSContext(context.Background(), g, root, cfg, ws, nil)
+}
+
+// BFSContext is BFS as a cancelable, observable session: ctx stops the
+// traversal cooperatively, obs (when non-nil) receives one report per
+// superstep. A stopped run returns the partial distances reached so far
+// together with the stop cause; Stats.Reason classifies the ending.
+func BFSContext(ctx context.Context, g *graphmat.Graph[uint32, float32], root uint32, cfg graphmat.Config, ws *graphmat.Workspace[uint32, uint32], obs Observer) ([]uint32, graphmat.Stats, error) {
 	g.SetAllProps(Unreached)
 	g.SetProp(root, 0)
 	g.ClearActive()
 	g.SetActive(root)
-	stats, err := graphmat.RunWithWorkspace(g, BFSProgram{}, cfg, ws)
-	if err != nil {
-		return nil, stats, err
-	}
+	stats, err := graphmat.RunContext(ctx, g, BFSProgram{}, cfg, ws, newSession(obs).options()...)
 	dist := make([]uint32, g.NumVertices())
 	for v := range dist {
 		dist[v] = g.Prop(uint32(v))
 	}
-	return dist, stats, nil
+	return dist, stats, err
 }

@@ -1,6 +1,8 @@
 package algorithms
 
 import (
+	"context"
+
 	"graphmat"
 	"graphmat/internal/gen"
 )
@@ -101,6 +103,17 @@ func NewCFGraph(ratings *graphmat.COO[float32], partitions int) (*graphmat.Graph
 // vectors indexed by vertex id (users then items). Factors are
 // (re)initialized deterministically from InitSeed.
 func CF(g *graphmat.Graph[CFVec, float32], opt CFOptions) ([]CFVec, graphmat.Stats) {
+	out, stats, err := CFContext(context.Background(), g, opt, nil)
+	if err != nil {
+		panic(err) // contextless run with no observer cannot fail
+	}
+	return out, stats
+}
+
+// CFContext is CF as a cancelable, observable session: the sweep loop runs
+// as one engine run, so observers see real iteration numbers. A stopped run
+// returns the factors as of the stop together with the stop cause.
+func CFContext(ctx context.Context, g *graphmat.Graph[CFVec, float32], opt CFOptions, obs Observer) ([]CFVec, graphmat.Stats, error) {
 	opt = opt.withDefaults()
 	rng := gen.NewRNG(opt.InitSeed)
 	props := g.Props()
@@ -114,8 +127,9 @@ func CF(g *graphmat.Graph[CFVec, float32], opt CFOptions) ([]CFVec, graphmat.Sta
 	g.SetAllActive()
 	cfg := opt.Config
 	cfg.MaxIterations = opt.Iterations
-	stats := graphmat.Run(g, CFProgram{Gamma: opt.Gamma, Lambda: opt.Lambda}, cfg)
+	sess := newSession(obs)
+	stats, err := graphmat.RunContext(ctx, g, CFProgram{Gamma: opt.Gamma, Lambda: opt.Lambda}, cfg, nil, sess.options()...)
 	out := make([]CFVec, len(props))
 	copy(out, props)
-	return out, stats
+	return out, stats, err
 }

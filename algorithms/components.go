@@ -1,6 +1,10 @@
 package algorithms
 
-import "graphmat"
+import (
+	"context"
+
+	"graphmat"
+)
 
 // CCProgram is a label-propagation connected-components vertex program (an
 // extension beyond the paper's five algorithms, exercising the same min-
@@ -59,17 +63,21 @@ func ConnectedComponents(g *graphmat.Graph[uint32, float32], cfg graphmat.Config
 // ConnectedComponentsWithWorkspace is ConnectedComponents with
 // caller-managed engine scratch for repeated runs on one graph.
 func ConnectedComponentsWithWorkspace(g *graphmat.Graph[uint32, float32], cfg graphmat.Config, ws *graphmat.Workspace[uint32, uint32]) ([]uint32, graphmat.Stats, error) {
+	return ConnectedComponentsContext(context.Background(), g, cfg, ws, nil)
+}
+
+// ConnectedComponentsContext is ConnectedComponents as a cancelable,
+// observable session; see BFSContext for the contract. A stopped run returns
+// the partially propagated labels.
+func ConnectedComponentsContext(ctx context.Context, g *graphmat.Graph[uint32, float32], cfg graphmat.Config, ws *graphmat.Workspace[uint32, uint32], obs Observer) ([]uint32, graphmat.Stats, error) {
 	g.InitProps(func(v uint32) uint32 { return v })
 	g.SetAllActive()
-	stats, err := graphmat.RunWithWorkspace(g, CCProgram{}, cfg, ws)
-	if err != nil {
-		return nil, stats, err
-	}
+	stats, err := graphmat.RunContext(ctx, g, CCProgram{}, cfg, ws, newSession(obs).options()...)
 	labels := make([]uint32, g.NumVertices())
 	for v := range labels {
 		labels[v] = g.Prop(uint32(v))
 	}
-	return labels, stats, nil
+	return labels, stats, err
 }
 
 // DegreeProgram counts arriving messages: run for one superstep with all
@@ -115,7 +123,7 @@ func Degrees(g *graphmat.Graph[uint32, float32], dir graphmat.Direction, cfg gra
 	g.SetAllProps(0)
 	g.SetAllActive()
 	cfg.MaxIterations = 1
-	stats := graphmat.Run(g, DegreeProgram{Dir: dir}, cfg)
+	stats, _ := graphmat.Run(g, DegreeProgram{Dir: dir}, cfg) // contextless Run cannot fail
 	deg := make([]uint32, g.NumVertices())
 	for v := range deg {
 		deg[v] = g.Prop(uint32(v))

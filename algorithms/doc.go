@@ -13,6 +13,15 @@
 //   - a runner (e.g. SSSP) that initializes vertex state, executes the
 //     program and extracts results.
 //
+// Every runner also has a Context variant (e.g. SSSPContext) that executes
+// as a cancelable, observable session: a context.Context stops the engine
+// cooperatively mid-run, and an optional Observer receives one progress
+// report per superstep — with iteration numbers counting the algorithm's
+// global supersteps even for drivers that invoke the engine one superstep
+// at a time. Stopped runs return their partial results alongside the stop
+// cause, and Stats.Reason classifies every ending. The registry mirrors
+// this: Instance.RunContext is the session form of Instance.Run.
+//
 // The benchmark harness builds graphs once and calls runners repeatedly, so
 // graph construction time is excluded from measurements exactly as the paper
 // excludes load time.

@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"context"
 	"math"
 
 	"graphmat"
@@ -77,6 +78,14 @@ func HITS(g *graphmat.Graph[HITSVertex, float32], opt HITSOptions) ([]HITSVertex
 // runs on one graph. Both half-steps carry float64 messages, so one
 // workspace serves the whole run.
 func HITSWithWorkspace(g *graphmat.Graph[HITSVertex, float32], opt HITSOptions, ws *graphmat.Workspace[float64, float64]) ([]HITSVertex, graphmat.Stats, error) {
+	return HITSContext(context.Background(), g, opt, ws, nil)
+}
+
+// HITSContext is HITS as a cancelable, observable session. The observer sees
+// one report per engine superstep — two per HITS iteration (the authority
+// half-step, then the hub half-step). A stopped run returns the scores as of
+// the stop together with the stop cause.
+func HITSContext(ctx context.Context, g *graphmat.Graph[HITSVertex, float32], opt HITSOptions, ws *graphmat.Workspace[float64, float64], obs Observer) ([]HITSVertex, graphmat.Stats, error) {
 	iters := opt.Iterations
 	if iters <= 0 {
 		iters = 20
@@ -101,7 +110,14 @@ func HITSWithWorkspace(g *graphmat.Graph[HITSVertex, float32], opt HITSOptions, 
 		}
 	}
 
+	sess := newSession(obs)
+	scores := func() []HITSVertex {
+		out := make([]HITSVertex, len(props))
+		copy(out, props)
+		return out
+	}
 	var stats graphmat.Stats
+	stats.Reason = graphmat.MaxIterations
 	for it := 0; it < iters; it++ {
 		// A vertex that receives no messages is never Applied, so the
 		// accumulated field must be cleared up front: a page nobody links to
@@ -110,24 +126,24 @@ func HITSWithWorkspace(g *graphmat.Graph[HITSVertex, float32], opt HITSOptions, 
 			props[i].Auth = 0
 		}
 		g.SetAllActive()
-		s, err := graphmat.RunWithWorkspace(g, hitsAuthProg{}, cfg, ws)
-		if err != nil {
-			return nil, stats, err
-		}
+		s, err := graphmat.RunContext(ctx, g, hitsAuthProg{}, cfg, ws, sess.options()...)
 		accumulate(&stats, s)
+		if err != nil {
+			stats.Reason = s.Reason
+			return scores(), stats, err
+		}
 		normalize(func(v *HITSVertex) *float64 { return &v.Auth })
 		for i := range props {
 			props[i].Hub = 0
 		}
 		g.SetAllActive()
-		s, err = graphmat.RunWithWorkspace(g, hitsHubProg{}, cfg, ws)
-		if err != nil {
-			return nil, stats, err
-		}
+		s, err = graphmat.RunContext(ctx, g, hitsHubProg{}, cfg, ws, sess.options()...)
 		accumulate(&stats, s)
+		if err != nil {
+			stats.Reason = s.Reason
+			return scores(), stats, err
+		}
 		normalize(func(v *HITSVertex) *float64 { return &v.Hub })
 	}
-	out := make([]HITSVertex, len(props))
-	copy(out, props)
-	return out, stats, nil
+	return scores(), stats, nil
 }

@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"context"
 	"math"
 
 	"graphmat"
@@ -108,6 +109,15 @@ func PageRank(g *graphmat.Graph[PRVertex, float32], opt PageRankOptions) ([]floa
 // drivers (like the analytics server) that run back-to-back queries on one
 // graph and want to reuse the workspace instead of reallocating it.
 func PageRankWithWorkspace(g *graphmat.Graph[PRVertex, float32], opt PageRankOptions, ws *graphmat.Workspace[float64, float64]) ([]float64, graphmat.Stats, error) {
+	return PageRankContext(context.Background(), g, opt, ws, nil)
+}
+
+// PageRankContext is PageRank as a cancelable, observable session: ctx
+// cancellation or deadline stops the run between (or within) supersteps, and
+// obs, when non-nil, receives one report per superstep. On a stopped run the
+// returned ranks are the partial state at the stop and the error is the stop
+// cause; Stats.Reason classifies how the run ended either way.
+func PageRankContext(ctx context.Context, g *graphmat.Graph[PRVertex, float32], opt PageRankOptions, ws *graphmat.Workspace[float64, float64], obs Observer) ([]float64, graphmat.Stats, error) {
 	opt = opt.withDefaults()
 	g.InitProps(func(v uint32) PRVertex {
 		p := PRVertex{Rank: 1}
@@ -119,23 +129,31 @@ func PageRankWithWorkspace(g *graphmat.Graph[PRVertex, float32], opt PageRankOpt
 	prog := PageRankProgram{RestartProb: opt.RestartProb, Tolerance: opt.Tolerance}
 	cfg := opt.Config
 	cfg.MaxIterations = 1
+	sess := newSession(obs)
 	var stats graphmat.Stats
+	stats.Reason = graphmat.MaxIterations
 	for it := 0; it < opt.MaxIterations; it++ {
 		g.SetAllActive()
-		s, err := graphmat.RunWithWorkspace(g, prog, cfg, ws)
-		if err != nil {
-			return nil, stats, err
-		}
+		s, err := graphmat.RunContext(ctx, g, prog, cfg, ws, sess.options()...)
 		accumulate(&stats, s)
+		if err != nil {
+			stats.Reason = s.Reason
+			return ranksOf(g), stats, err
+		}
 		// After the superstep the active set holds exactly the vertices
 		// whose rank moved beyond Tolerance.
 		if !g.Active().Any() {
+			stats.Reason = graphmat.Converged
 			break
 		}
 	}
+	return ranksOf(g), stats, nil
+}
+
+func ranksOf(g *graphmat.Graph[PRVertex, float32]) []float64 {
 	ranks := make([]float64, g.NumVertices())
 	for v := range ranks {
 		ranks[v] = g.Prop(uint32(v)).Rank
 	}
-	return ranks, stats, nil
+	return ranks
 }

@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"context"
 	"math"
 
 	"graphmat"
@@ -72,6 +73,12 @@ func PersonalizedPageRank(g *graphmat.Graph[PPRVertex, float32], sources []uint3
 // PersonalizedPageRankWithWorkspace is PersonalizedPageRank with
 // caller-managed engine scratch for repeated queries on one graph.
 func PersonalizedPageRankWithWorkspace(g *graphmat.Graph[PPRVertex, float32], sources []uint32, opt PageRankOptions, ws *graphmat.Workspace[float64, float64]) ([]float64, graphmat.Stats, error) {
+	return PersonalizedPageRankContext(context.Background(), g, sources, opt, ws, nil)
+}
+
+// PersonalizedPageRankContext is PersonalizedPageRank as a cancelable,
+// observable session; see PageRankContext for the contract.
+func PersonalizedPageRankContext(ctx context.Context, g *graphmat.Graph[PPRVertex, float32], sources []uint32, opt PageRankOptions, ws *graphmat.Workspace[float64, float64], obs Observer) ([]float64, graphmat.Stats, error) {
 	opt = opt.withDefaults()
 	perSource := opt.RestartProb / float64(len(sources))
 	isSource := make(map[uint32]bool, len(sources))
@@ -92,23 +99,30 @@ func PersonalizedPageRankWithWorkspace(g *graphmat.Graph[PPRVertex, float32], so
 	prog := PersonalizedPageRankProgram{RestartProb: opt.RestartProb, Tolerance: opt.Tolerance}
 	cfg := opt.Config
 	cfg.MaxIterations = 1
+	sess := newSession(obs)
 	var stats graphmat.Stats
+	stats.Reason = graphmat.MaxIterations
+	pprRanks := func() []float64 {
+		ranks := make([]float64, g.NumVertices())
+		for v := range ranks {
+			ranks[v] = g.Prop(uint32(v)).Rank
+		}
+		return ranks
+	}
 	for it := 0; it < opt.MaxIterations; it++ {
 		g.SetAllActive()
-		s, err := graphmat.RunWithWorkspace(g, prog, cfg, ws)
-		if err != nil {
-			return nil, stats, err
-		}
+		s, err := graphmat.RunContext(ctx, g, prog, cfg, ws, sess.options()...)
 		accumulate(&stats, s)
+		if err != nil {
+			stats.Reason = s.Reason
+			return pprRanks(), stats, err
+		}
 		if !g.Active().Any() {
+			stats.Reason = graphmat.Converged
 			break
 		}
 	}
-	ranks := make([]float64, g.NumVertices())
-	for v := range ranks {
-		ranks[v] = g.Prop(uint32(v)).Rank
-	}
-	return ranks, stats, nil
+	return pprRanks(), stats, nil
 }
 
 // NewPersonalizedPageRankGraph builds the PPR property graph.

@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -99,8 +100,15 @@ type ParamSpec struct {
 type Instance interface {
 	// Run executes the algorithm. scratch, if non-nil, must be a value
 	// returned by NewScratch on an instance over the same graph; nil
-	// allocates fresh scratch for this run.
+	// allocates fresh scratch for this run. It is RunContext without a
+	// context or observer.
 	Run(p Params, scratch any) (Result, error)
+	// RunContext executes the algorithm under ctx: cancellation and
+	// deadlines stop the engine cooperatively mid-run, and obs, when
+	// non-nil, receives one progress report per superstep. A stopped run
+	// returns the error alongside a Result whose Stats.Reason records the
+	// stop cause.
+	RunContext(ctx context.Context, p Params, scratch any, obs Observer) (Result, error)
 	// NewScratch allocates the reusable engine workspace for this
 	// (algorithm, graph) pair, for callers that pool scratch across runs.
 	NewScratch() any
@@ -385,12 +393,15 @@ func (i *pagerankInstance) NewScratch() any {
 	return graphmat.NewWorkspace[float64, float64](int(i.g.NumVertices()), graphmat.Bitvector)
 }
 func (i *pagerankInstance) Run(p Params, scratch any) (Result, error) {
+	return i.RunContext(context.Background(), p, scratch, nil)
+}
+func (i *pagerankInstance) RunContext(ctx context.Context, p Params, scratch any, obs Observer) (Result, error) {
 	ws, err := typedScratch[*graphmat.Workspace[float64, float64]](scratch, i.NewScratch)
 	if err != nil {
 		return Result{}, err
 	}
 	opt := PageRankOptions{MaxIterations: p.Iterations, Tolerance: p.Tolerance, RestartProb: p.RestartProb, Config: p.config()}
-	ranks, stats, err := PageRankWithWorkspace(i.g, opt, ws)
+	ranks, stats, err := PageRankContext(ctx, i.g, opt, ws, obs)
 	return Result{Values: ranks, Stats: stats}, err
 }
 
@@ -404,6 +415,9 @@ func (i *bfsInstance) NewScratch() any {
 	return graphmat.NewWorkspace[uint32, uint32](int(i.g.NumVertices()), graphmat.Bitvector)
 }
 func (i *bfsInstance) Run(p Params, scratch any) (Result, error) {
+	return i.RunContext(context.Background(), p, scratch, nil)
+}
+func (i *bfsInstance) RunContext(ctx context.Context, p Params, scratch any, obs Observer) (Result, error) {
 	if err := checkSource(p.Source, i.g.NumVertices(), "source"); err != nil {
 		return Result{}, err
 	}
@@ -411,7 +425,7 @@ func (i *bfsInstance) Run(p Params, scratch any) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	dist, stats, err := BFSWithWorkspace(i.g, p.Source, p.config(), ws)
+	dist, stats, err := BFSContext(ctx, i.g, p.Source, p.config(), ws, obs)
 	return Result{Values: uintValues(dist), Stats: stats}, err
 }
 
@@ -425,6 +439,9 @@ func (i *ssspInstance) NewScratch() any {
 	return graphmat.NewWorkspace[float32, float32](int(i.g.NumVertices()), graphmat.Bitvector)
 }
 func (i *ssspInstance) Run(p Params, scratch any) (Result, error) {
+	return i.RunContext(context.Background(), p, scratch, nil)
+}
+func (i *ssspInstance) RunContext(ctx context.Context, p Params, scratch any, obs Observer) (Result, error) {
 	if err := checkSource(p.Source, i.g.NumVertices(), "source"); err != nil {
 		return Result{}, err
 	}
@@ -432,7 +449,7 @@ func (i *ssspInstance) Run(p Params, scratch any) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	dist, stats, err := SSSPWithWorkspace(i.g, p.Source, p.config(), ws)
+	dist, stats, err := SSSPContext(ctx, i.g, p.Source, p.config(), ws, obs)
 	values := make([]float64, len(dist))
 	for v, d := range dist {
 		values[v] = float64(d)
@@ -450,11 +467,14 @@ func (i *componentsInstance) NewScratch() any {
 	return graphmat.NewWorkspace[uint32, uint32](int(i.g.NumVertices()), graphmat.Bitvector)
 }
 func (i *componentsInstance) Run(p Params, scratch any) (Result, error) {
+	return i.RunContext(context.Background(), p, scratch, nil)
+}
+func (i *componentsInstance) RunContext(ctx context.Context, p Params, scratch any, obs Observer) (Result, error) {
 	ws, err := typedScratch[*graphmat.Workspace[uint32, uint32]](scratch, i.NewScratch)
 	if err != nil {
 		return Result{}, err
 	}
-	labels, stats, err := ConnectedComponentsWithWorkspace(i.g, p.config(), ws)
+	labels, stats, err := ConnectedComponentsContext(ctx, i.g, p.config(), ws, obs)
 	return Result{Values: uintValues(labels), Stats: stats}, err
 }
 
@@ -468,6 +488,9 @@ func (i *pprInstance) NewScratch() any {
 	return graphmat.NewWorkspace[float64, float64](int(i.g.NumVertices()), graphmat.Bitvector)
 }
 func (i *pprInstance) Run(p Params, scratch any) (Result, error) {
+	return i.RunContext(context.Background(), p, scratch, nil)
+}
+func (i *pprInstance) RunContext(ctx context.Context, p Params, scratch any, obs Observer) (Result, error) {
 	sources := p.Sources
 	if len(sources) == 0 {
 		sources = []uint32{p.Source}
@@ -482,7 +505,7 @@ func (i *pprInstance) Run(p Params, scratch any) (Result, error) {
 		return Result{}, err
 	}
 	opt := PageRankOptions{MaxIterations: p.Iterations, Tolerance: p.Tolerance, RestartProb: p.RestartProb, Config: p.config()}
-	ranks, stats, err := PersonalizedPageRankWithWorkspace(i.g, sources, opt, ws)
+	ranks, stats, err := PersonalizedPageRankContext(ctx, i.g, sources, opt, ws, obs)
 	return Result{Values: ranks, Stats: stats}, err
 }
 
@@ -496,11 +519,14 @@ func (i *trianglesInstance) NewScratch() any {
 	return NewTriangleScratch(int(i.g.NumVertices()), graphmat.Bitvector)
 }
 func (i *trianglesInstance) Run(p Params, scratch any) (Result, error) {
+	return i.RunContext(context.Background(), p, scratch, nil)
+}
+func (i *trianglesInstance) RunContext(ctx context.Context, p Params, scratch any, obs Observer) (Result, error) {
 	sc, err := typedScratch[*TriangleScratch](scratch, i.NewScratch)
 	if err != nil {
 		return Result{}, err
 	}
-	count, stats, err := TriangleCountWithWorkspace(i.g, p.config(), sc)
+	count, stats, err := TriangleCountContext(ctx, i.g, p.config(), sc, obs)
 	return Result{Count: &count, Stats: stats}, err
 }
 
@@ -514,21 +540,23 @@ func (i *hitsInstance) NewScratch() any {
 	return graphmat.NewWorkspace[float64, float64](int(i.g.NumVertices()), graphmat.Bitvector)
 }
 func (i *hitsInstance) Run(p Params, scratch any) (Result, error) {
+	return i.RunContext(context.Background(), p, scratch, nil)
+}
+func (i *hitsInstance) RunContext(ctx context.Context, p Params, scratch any, obs Observer) (Result, error) {
 	ws, err := typedScratch[*graphmat.Workspace[float64, float64]](scratch, i.NewScratch)
 	if err != nil {
 		return Result{}, err
 	}
-	scores, stats, err := HITSWithWorkspace(i.g, HITSOptions{Iterations: p.Iterations, Config: p.config()}, ws)
-	if err != nil {
-		return Result{}, err
-	}
+	scores, stats, err := HITSContext(ctx, i.g, HITSOptions{Iterations: p.Iterations, Config: p.config()}, ws, obs)
 	hub := make([]float64, len(scores))
 	auth := make([]float64, len(scores))
 	for v, s := range scores {
 		hub[v] = s.Hub
 		auth[v] = s.Auth
 	}
-	return Result{Series: map[string][]float64{"hub": hub, "auth": auth}, Stats: stats}, nil
+	// A stopped run still carries the scores as of the stop, matching the
+	// other algorithms' partial-result contract.
+	return Result{Series: map[string][]float64{"hub": hub, "auth": auth}, Stats: stats}, err
 }
 
 // uintValues widens a uint32 result series to the registry's float64 result

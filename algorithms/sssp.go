@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"context"
 	"math"
 
 	"graphmat"
@@ -64,17 +65,20 @@ func SSSP(g *graphmat.Graph[float32, float32], src uint32, cfg graphmat.Config) 
 // SSSPWithWorkspace is SSSP with caller-managed engine scratch for repeated
 // queries on one graph.
 func SSSPWithWorkspace(g *graphmat.Graph[float32, float32], src uint32, cfg graphmat.Config, ws *graphmat.Workspace[float32, float32]) ([]float32, graphmat.Stats, error) {
+	return SSSPContext(context.Background(), g, src, cfg, ws, nil)
+}
+
+// SSSPContext is SSSP as a cancelable, observable session; see BFSContext
+// for the contract. A stopped run returns the best distances found so far.
+func SSSPContext(ctx context.Context, g *graphmat.Graph[float32, float32], src uint32, cfg graphmat.Config, ws *graphmat.Workspace[float32, float32], obs Observer) ([]float32, graphmat.Stats, error) {
 	g.SetAllProps(InfDist)
 	g.SetProp(src, 0)
 	g.ClearActive()
 	g.SetActive(src)
-	stats, err := graphmat.RunWithWorkspace(g, SSSPProgram{}, cfg, ws)
-	if err != nil {
-		return nil, stats, err
-	}
+	stats, err := graphmat.RunContext(ctx, g, SSSPProgram{}, cfg, ws, newSession(obs).options()...)
 	dist := make([]float32, g.NumVertices())
 	for v := range dist {
 		dist[v] = g.Prop(uint32(v))
 	}
-	return dist, stats, nil
+	return dist, stats, err
 }

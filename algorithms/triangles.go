@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"context"
 	"sort"
 
 	"graphmat"
@@ -129,20 +130,32 @@ func (s *TriangleScratch) Reset() {
 // TriangleCountWithWorkspace is TriangleCount with caller-managed scratch
 // for repeated counts on one graph.
 func TriangleCountWithWorkspace(g *graphmat.Graph[TCVertex, float32], cfg graphmat.Config, scratch *TriangleScratch) (int64, graphmat.Stats, error) {
+	return TriangleCountContext(context.Background(), g, cfg, scratch, nil)
+}
+
+// TriangleCountContext is TriangleCount as a cancelable, observable session.
+// The observer sees one report per phase (the pipeline is two one-superstep
+// vertex programs). A stopped run returns count 0 with the stop cause.
+func TriangleCountContext(ctx context.Context, g *graphmat.Graph[TCVertex, float32], cfg graphmat.Config, scratch *TriangleScratch, obs Observer) (int64, graphmat.Stats, error) {
 	g.SetAllProps(TCVertex{})
 	g.SetAllActive()
 	cfg.MaxIterations = 1
-	stats, err := graphmat.RunWithWorkspace(g, tcPhase1{}, cfg, scratch.Phase1)
+	sess := newSession(obs)
+	stats, err := graphmat.RunContext(ctx, g, tcPhase1{}, cfg, scratch.Phase1, sess.options()...)
 	if err != nil {
 		return 0, stats, err
 	}
 
 	g.SetAllActive()
-	s2, err := graphmat.RunWithWorkspace(g, tcPhase2{}, cfg, scratch.Phase2)
+	s2, err := graphmat.RunContext(ctx, g, tcPhase2{}, cfg, scratch.Phase2, sess.options()...)
+	accumulate(&stats, s2)
 	if err != nil {
+		stats.Reason = s2.Reason
 		return 0, stats, err
 	}
-	accumulate(&stats, s2)
+	// Both fixed one-superstep phases ran to completion: the pipeline is
+	// done, which for this driver is convergence.
+	stats.Reason = graphmat.Converged
 
 	var total int64
 	for v := uint32(0); v < g.NumVertices(); v++ {

@@ -9,21 +9,27 @@
 //
 // Experiments: table1, fig4a, fig4b, fig4c, fig4d, fig4e, table2, table3,
 // fig5, fig6, fig7, all. Table 2/3 and Figure 6 are derived from the
-// Figure 4 measurements and run them implicitly.
+// Figure 4 measurements and run them implicitly. The extra "converge"
+// experiment uses the engine's per-superstep observer to report PageRank's
+// convergence trajectory instead of end-to-end timings.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"graphmat"
+	"graphmat/algorithms"
 	"graphmat/internal/bench"
+	"graphmat/internal/gen"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (table1, fig4a..fig4e, table2, table3, fig5, fig6, fig7, all)")
+		experiment = flag.String("experiment", "all", "which experiment to run (table1, fig4a..fig4e, table2, table3, fig5, fig6, fig7, converge, all)")
 		shift      = flag.Int("shift", 0, "dataset size shift: each +1 doubles stand-in sizes toward paper scale")
 		threads    = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
 		maxThreads = flag.Int("maxthreads", 0, "figure 5 sweep upper bound (0 = GOMAXPROCS)")
@@ -88,6 +94,8 @@ func run(experiment string, o bench.Options) {
 		}
 	case "fig7":
 		emit(bench.Fig7(o))
+	case "converge":
+		convergence(o)
 	case "all":
 		emit(bench.Table1(o))
 		for _, r := range needFig4() {
@@ -107,4 +115,45 @@ func run(experiment string, o bench.Options) {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// convergence runs PageRank on an RMAT stand-in with a per-superstep
+// observer and prints the convergence trajectory: how many vertices still
+// moved beyond the tolerance after each superstep, and the superstep's wall
+// time. The trajectory is what the blocking experiments cannot show — the
+// engine's whole-run timings collapse it into one number.
+func convergence(o bench.Options) {
+	scale := 14 + o.Shift
+	iters := o.PRIters
+	if iters < 30 {
+		iters = 30
+	}
+	const tolerance = 1e-7
+	adj := gen.RMAT(gen.RMATOptions{Scale: scale, EdgeFactor: 16, Seed: 20, MaxWeight: 0})
+	g, err := algorithms.NewPageRankGraph(adj, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "building pagerank graph: %v\n", err)
+		os.Exit(1)
+	}
+	n := g.NumVertices()
+	fmt.Printf("# PageRank convergence — RMAT scale %d (%d vertices, %d edges), tolerance %g\n",
+		scale, n, g.NumEdges(), tolerance)
+	fmt.Printf("%-5s  %12s  %12s  %9s  %9s\n", "iter", "unconverged", "frac", "step_ms", "total_ms")
+	opt := algorithms.PageRankOptions{
+		MaxIterations: iters,
+		Tolerance:     tolerance,
+		Config:        graphmat.Config{Threads: o.Threads},
+	}
+	_, stats, err := algorithms.PageRankContext(context.Background(), g, opt, nil,
+		func(info graphmat.IterationInfo) error {
+			fmt.Printf("%-5d  %12d  %12.6f  %9.3f  %9.3f\n",
+				info.Iteration, info.NextActive, float64(info.NextActive)/float64(n),
+				float64(info.Elapsed.Microseconds())/1000, float64(info.Total.Microseconds())/1000)
+			return nil
+		})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pagerank: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# %s after %d supersteps\n", stats.Reason, stats.Iterations)
 }

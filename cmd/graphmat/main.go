@@ -9,16 +9,24 @@
 //
 //	graphmat -algorithm sssp -graph road.mtx -source 6
 //	graphmat -algorithm pagerank -graph web.bin -iters 20 -top 10
+//	graphmat -algorithm pagerank -graph web.bin -iters 200 -progress -timeout 30s
 //	graphmat -algorithm triangles -graph social.mtx
 //	graphmat -algorithm cf -graph ratings.mtx -iters 10
 //	graphmat -algorithm bfs -graph social.mtx -source 0
 //	graphmat -algorithm components -graph social.mtx
+//
+// Runs are context-aware sessions: -timeout bounds wall time, -progress
+// streams per-superstep convergence, and Ctrl-C cancels gracefully, printing
+// the partial statistics of the work completed.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"time"
@@ -29,18 +37,44 @@ import (
 
 func main() {
 	var (
-		algo    = flag.String("algorithm", "", strings.Join(append(algorithms.Names(), "cf", "degrees"), ", "))
-		path    = flag.String("graph", "", "graph file (.mtx, .bin, or text edge list)")
-		source  = flag.Uint("source", 0, "bfs/sssp/ppr source vertex")
-		iters   = flag.Int("iters", 10, "iterations for pagerank/ppr/hits/cf")
-		top     = flag.Int("top", 5, "print the top-k vertices of the result")
-		threads = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		algo     = flag.String("algorithm", "", strings.Join(append(algorithms.Names(), "cf", "degrees"), ", "))
+		path     = flag.String("graph", "", "graph file (.mtx, .bin, or text edge list)")
+		source   = flag.Uint("source", 0, "bfs/sssp/ppr source vertex")
+		iters    = flag.Int("iters", 10, "iterations for pagerank/ppr/hits/cf")
+		top      = flag.Int("top", 5, "print the top-k vertices of the result")
+		threads  = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+		progress = flag.Bool("progress", false, "print per-superstep progress")
 	)
 	flag.Parse()
 	if *algo == "" || *path == "" {
 		fmt.Fprintln(os.Stderr, "graphmat: -algorithm and -graph are required")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// Ctrl-C cancels the run gracefully: the engine stops cooperatively and
+	// the partial statistics (and result state) are still reported. Once the
+	// context is done the signal registration is released, so a second
+	// interrupt kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var obs algorithms.Observer
+	if *progress {
+		obs = func(info graphmat.IterationInfo) error {
+			fmt.Printf("  superstep %3d: %d active, %d sent, %s\n",
+				info.Iteration, info.Active, info.Sent, info.Elapsed.Round(time.Microsecond))
+			return nil
+		}
 	}
 
 	adj, err := graphmat.LoadFile(*path)
@@ -63,7 +97,8 @@ func main() {
 		}
 		build := time.Since(start)
 		start = time.Now()
-		_, stats := algorithms.CF(g, algorithms.CFOptions{Iterations: *iters, Config: cfg})
+		_, stats, err := algorithms.CFContext(ctx, g, algorithms.CFOptions{Iterations: *iters, Config: cfg}, obs)
+		reportStop(stats, err)
 		report(build, time.Since(start), stats.Iterations)
 		fmt.Printf("factorized %d vertices into %d latent dimensions\n", g.NumVertices(), algorithms.LatentDim)
 		return
@@ -95,12 +130,24 @@ func main() {
 	build := time.Since(start)
 	params := algorithms.Params{Source: uint32(*source), Iterations: *iters, Threads: *threads}
 	start = time.Now()
-	res, err := inst.Run(params, nil)
-	if err != nil {
-		fatal("%v", err)
-	}
+	res, err := inst.RunContext(ctx, params, nil, obs)
+	reportStop(res.Stats, err)
 	report(build, time.Since(start), res.Stats.Iterations)
 	printResult(name, res, *source, *top)
+}
+
+// reportStop handles a run's error: stopped runs (Ctrl-C, -timeout) print
+// the typed reason and fall through so the partial stats and result state
+// still print; real failures abort.
+func reportStop(stats graphmat.Stats, err error) {
+	if err == nil {
+		return
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		fmt.Printf("run stopped early (%s) — reporting partial results\n", stats.Reason)
+		return
+	}
+	fatal("%v", err)
 }
 
 // printResult renders the registry's uniform result shape with the summary

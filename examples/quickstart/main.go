@@ -65,7 +65,7 @@ func main() {
 	g.SetProp(0, 0)
 	g.SetActive(0)
 
-	stats := graphmat.Run(g, sssp{}, graphmat.Config{})
+	stats, _ := graphmat.Run(g, sssp{}, graphmat.Config{}) // contextless Run cannot fail
 
 	fmt.Printf("converged after %d supersteps, %d edges processed\n",
 		stats.Iterations, stats.EdgesProcessed)

@@ -13,6 +13,21 @@
 //	g.SetActive(src)
 //	graphmat.Run(g, ssspProgram{}, graphmat.Config{})
 //
+// Runs are sessions: RunContext executes the same superstep loop under a
+// context.Context, so callers can cancel abandoned work, bound wall time
+// (context deadlines or WithMaxDuration), and watch progress with a
+// per-superstep observer:
+//
+//	stats, err := graphmat.RunContext(ctx, g, prog, cfg, nil,
+//		graphmat.WithObserver(func(info graphmat.IterationInfo) error {
+//			log.Printf("superstep %d: %d active", info.Iteration, info.Active)
+//			return nil // any error stops the run
+//		}))
+//
+// Every run ends with a typed reason in Stats.Reason — Converged,
+// MaxIterations, Canceled, DeadlineExceeded or StoppedByObserver — and
+// canceled runs still return the partial statistics of the work done.
+//
 // Ready-made programs for PageRank, BFS, SSSP, triangle counting and
 // collaborative filtering live in the algorithms subpackage. The engine,
 // matrix formats and workload generators are implemented in internal
@@ -20,6 +35,9 @@
 package graphmat
 
 import (
+	"context"
+	"time"
+
 	"graphmat/internal/core"
 	"graphmat/internal/graph"
 	"graphmat/internal/sparse"
@@ -101,9 +119,55 @@ func New[V, E any](adj *COO[E], opts Options) (*Graph[V, E], error) {
 	return graph.NewFromCOO[V, E](adj, opts)
 }
 
-// Run executes a vertex program until convergence or cfg.MaxIterations.
-func Run[V, E, M, R any, P Program[V, E, M, R]](g *Graph[V, E], p P, cfg Config) Stats {
+// Run executes a vertex program until convergence or cfg.MaxIterations. It
+// is RunContext without a context: it cannot be canceled and the error is
+// always nil.
+func Run[V, E, M, R any, P Program[V, E, M, R]](g *Graph[V, E], p P, cfg Config) (Stats, error) {
 	return core.Run(g, p, cfg)
+}
+
+// StopReason classifies why a run ended; see Stats.Reason.
+type StopReason = core.StopReason
+
+// Stop reasons recorded in Stats.Reason.
+const (
+	ReasonNone        = core.ReasonNone
+	Converged         = core.Converged
+	MaxIterations     = core.MaxIterations
+	Canceled          = core.Canceled
+	DeadlineExceeded  = core.DeadlineExceeded
+	StoppedByObserver = core.StoppedByObserver
+)
+
+// IterationInfo is the per-superstep progress report delivered to observers.
+type IterationInfo = core.IterationInfo
+
+// Observer is a per-superstep callback; a non-nil error return stops the run
+// with reason StoppedByObserver.
+type Observer = core.Observer
+
+// RunOption configures a RunContext call.
+type RunOption = core.RunOption
+
+// WithObserver invokes fn after every superstep with that superstep's
+// progress (iteration number, frontier size, messages sent, wall time). An
+// error return stops the run.
+func WithObserver(fn Observer) RunOption { return core.WithObserver(fn) }
+
+// WithMaxDuration bounds the run's wall time; expiry stops the run promptly
+// — even mid-superstep — with reason DeadlineExceeded.
+func WithMaxDuration(d time.Duration) RunOption { return core.WithMaxDuration(d) }
+
+// RunContext executes a vertex program under ctx: cancellation and deadlines
+// stop the run cooperatively, checked between supersteps and inside the
+// parallel partition loops so long SpMVs abort promptly. ws may be nil (the
+// engine allocates scratch) or caller-managed. Stats.Reason records why the
+// run ended; the error is nil for Converged/MaxIterations, ctx.Err() for
+// Canceled/DeadlineExceeded, and the observer's error for StoppedByObserver.
+func RunContext[V, E, M, R any, P Program[V, E, M, R]](
+	ctx context.Context, g *Graph[V, E], p P, cfg Config, ws *Workspace[M, R], opts ...RunOption,
+) (Stats, error) {
+	return core.RunContext[V, E, M, R, P](ctx, g, p, cfg, ws, opts...)
 }
 
 // Workspace is reusable engine scratch (the C++ API's graph_program_init /

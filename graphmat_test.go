@@ -47,7 +47,7 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	g.SetAllProps(math.MaxFloat32)
 	g.SetProp(0, 0)
 	g.SetActive(0)
-	stats := graphmat.Run(g, publicSSSP{}, graphmat.Config{})
+	stats, _ := graphmat.Run(g, publicSSSP{}, graphmat.Config{})
 	want := []float32{0, 1, 2, 2, 4}
 	for v, d := range want {
 		if g.Prop(uint32(v)) != d {

@@ -24,7 +24,7 @@ func TestSetGetClear(t *testing.T) {
 	if v.Get(64) {
 		t.Error("bit 64 still set after Clear")
 	}
-	if v.Get(63) != true || v.Get(65) != true {
+	if !v.Get(63) || !v.Get(65) {
 		t.Error("Clear(64) disturbed neighboring bits")
 	}
 }

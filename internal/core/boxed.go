@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"time"
 
 	"graphmat/internal/graph"
 	"graphmat/internal/sparse"
@@ -120,7 +121,7 @@ func spmvBoxedSorted(part boxedPartition, xs *sparse.SortedVector[any], bp boxed
 	st.edges += edges
 }
 
-func runBoxed[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, cfg Config) Stats {
+func runBoxed[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, cfg Config, ctrl *controller) (Stats, error) {
 	n := int(g.NumVertices())
 	active := g.Active()
 	dir := p.Direction()
@@ -155,15 +156,24 @@ func runBoxed[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 	if maxIter <= 0 {
 		maxIter = math.MaxInt
 	}
+	stop := ctrl.flag()
+	runStart := time.Now()
 
 	var stats Stats
+	stats.Reason = MaxIterations
 	for iter := 0; iter < maxIter; iter++ {
-		stats.ActiveSum += int64(active.Count())
+		if r, ok := ctrl.stopped(); ok {
+			stats.Reason = r
+			return stats, r.err()
+		}
+		stepStart := time.Now()
+		frontier := int64(active.Count())
+		stats.ActiveSum += frontier
 		stats.Iterations++
 
 		if x != nil {
 			x.Reset()
-			parallelFor(cfg.Threads, nchunks, cfg.Schedule, func(c, w int) {
+			parallelFor(cfg.Threads, nchunks, cfg.Schedule, stop, func(c, w int) {
 				st := &locals[w]
 				active.IterateRange(chunks[c], chunks[c+1], func(v uint32) {
 					if m, ok := bp.send(v); ok {
@@ -174,7 +184,7 @@ func runBoxed[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 			})
 		} else {
 			xs.Reset()
-			parallelFor(cfg.Threads, nchunks, cfg.Schedule, func(c, w int) {
+			parallelFor(cfg.Threads, nchunks, cfg.Schedule, stop, func(c, w int) {
 				st := &locals[w]
 				var run []sparse.Entry[any]
 				active.IterateRange(chunks[c], chunks[c+1], func(v uint32) {
@@ -192,40 +202,65 @@ func runBoxed[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 				sortedRuns[c] = nil
 			}
 		}
-		sent, _ := stats.absorb(locals)
-		if sent == 0 {
-			break
-		}
-
-		y.Reset()
-		for _, parts := range [][]boxedPartition{outParts, inParts} {
-			if parts == nil {
-				continue
+		sent, _, _ := stats.absorb(locals)
+		var applies, nactive int64
+		if sent > 0 {
+			y.Reset()
+			for _, parts := range [][]boxedPartition{outParts, inParts} {
+				if parts == nil {
+					continue
+				}
+				parallelFor(cfg.Threads, len(parts), cfg.Schedule, stop, func(i, w int) {
+					if x != nil {
+						spmvBoxedBitvec(parts[i], x, bp, y, &locals[w])
+					} else {
+						spmvBoxedSorted(parts[i], xs, bp, y, &locals[w])
+					}
+				})
 			}
-			parallelFor(cfg.Threads, len(parts), cfg.Schedule, func(i, w int) {
-				if x != nil {
-					spmvBoxedBitvec(parts[i], x, bp, y, &locals[w])
-				} else {
-					spmvBoxedSorted(parts[i], xs, bp, y, &locals[w])
-				}
-			})
-		}
 
-		active.Reset()
-		parallelFor(cfg.Threads, nchunks, cfg.Schedule, func(c, w int) {
-			st := &locals[w]
-			y.IterateRange(chunks[c], chunks[c+1], func(v uint32, r any) {
-				st.applies++
-				if bp.apply(r, v) {
-					active.Set(v)
-					st.active++
-				}
+			if r, ok := ctrl.stopped(); ok {
+				stats.absorb(locals)
+				stats.Reason = r
+				return stats, r.err()
+			}
+
+			active.Reset()
+			parallelFor(cfg.Threads, nchunks, cfg.Schedule, stop, func(c, w int) {
+				st := &locals[w]
+				y.IterateRange(chunks[c], chunks[c+1], func(v uint32, r any) {
+					st.applies++
+					if bp.apply(r, v) {
+						active.Set(v)
+						st.active++
+					}
+				})
 			})
-		})
-		_, nactive := stats.absorb(locals)
-		if nactive == 0 {
+			_, applies, nactive = stats.absorb(locals)
+		}
+		if r, ok := ctrl.stopped(); ok {
+			stats.Reason = r
+			return stats, r.err()
+		}
+		if ctrl.observer != nil {
+			err := ctrl.observer(IterationInfo{
+				Iteration:  iter + 1,
+				Active:     frontier,
+				Sent:       sent,
+				Applies:    applies,
+				NextActive: nactive,
+				Elapsed:    time.Since(stepStart),
+				Total:      time.Since(runStart),
+			})
+			if err != nil {
+				stats.Reason = StoppedByObserver
+				return stats, err
+			}
+		}
+		if sent == 0 || nactive == 0 {
+			stats.Reason = Converged
 			break
 		}
 	}
-	return stats
+	return stats, nil
 }

@@ -83,4 +83,8 @@ type Stats struct {
 	// ColumnsProbed counts message-vector presence probes (Algorithm 1
 	// line 4 executions).
 	ColumnsProbed int64
+	// Reason records why the run ended (Converged, MaxIterations, Canceled,
+	// DeadlineExceeded, StoppedByObserver). Aggregated stats — sums over
+	// many runs — leave it at ReasonNone.
+	Reason StopReason
 }

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"graphmat/internal/graph"
 	"graphmat/internal/sparse"
@@ -16,13 +18,12 @@ import (
 // structure with the generalized SpMV (ProcessMessage + Reduce, Algorithm 1),
 // applies the reduced values (Apply), and activates the vertices whose state
 // changed. The run mutates g's vertex properties and active set.
-func Run[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, cfg Config) Stats {
-	cfg = cfg.withDefaults()
-	if cfg.Dispatch == Boxed {
-		return runBoxed(g, p, cfg)
-	}
-	ws := NewWorkspace[M, R](int(g.NumVertices()), cfg.Vector)
-	return runTyped(g, p, cfg, ws)
+//
+// Run is RunContext without a context: it cannot be canceled and the error
+// is always nil. Callers that need cancellation, deadlines or per-superstep
+// observation use RunContext.
+func Run[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, cfg Config) (Stats, error) {
+	return RunContext[V, E, M, R, P](context.Background(), g, p, cfg, nil)
 }
 
 // localStats is one worker's tally, padded to a cache line so workers never
@@ -36,17 +37,18 @@ type localStats struct {
 	_       [24]byte
 }
 
-func (s *Stats) absorb(locals []localStats) (sent, active int64) {
+func (s *Stats) absorb(locals []localStats) (sent, applies, active int64) {
 	for i := range locals {
 		s.MessagesSent += locals[i].sent
 		s.EdgesProcessed += locals[i].edges
 		s.ColumnsProbed += locals[i].probes
 		s.Applies += locals[i].applies
 		sent += locals[i].sent
+		applies += locals[i].applies
 		active += locals[i].active
 		locals[i] = localStats{}
 	}
-	return sent, active
+	return sent, applies, active
 }
 
 // chunkBounds splits [0, n) into at most k contiguous chunks whose interior
@@ -72,12 +74,18 @@ func chunkBounds(n, k int) []uint32 {
 // parallelFor runs fn(task, worker) over tasks [0, ntasks) on nworkers
 // goroutines. Dynamic scheduling pulls tasks from a shared atomic counter —
 // the paper's load-balancing mode; Static pre-assigns tasks round-robin.
-func parallelFor(nworkers, ntasks int, sched Schedule, fn func(task, worker int)) {
+// stop, when non-nil, is polled before each task: once it goes nonzero the
+// remaining tasks are abandoned, which is how a cancellation aborts a
+// multi-second SpMV without waiting for the superstep to finish.
+func parallelFor(nworkers, ntasks int, sched Schedule, stop *atomic.Int32, fn func(task, worker int)) {
 	if nworkers > ntasks {
 		nworkers = ntasks
 	}
 	if nworkers <= 1 {
 		for i := 0; i < ntasks; i++ {
+			if stop != nil && stop.Load() != 0 {
+				return
+			}
 			fn(i, 0)
 		}
 		return
@@ -90,6 +98,9 @@ func parallelFor(nworkers, ntasks int, sched Schedule, fn func(task, worker int)
 			go func(w int) {
 				defer wg.Done()
 				for {
+					if stop != nil && stop.Load() != 0 {
+						return
+					}
 					i := int(next.Add(1) - 1)
 					if i >= ntasks {
 						return
@@ -103,6 +114,9 @@ func parallelFor(nworkers, ntasks int, sched Schedule, fn func(task, worker int)
 			go func(w int) {
 				defer wg.Done()
 				for i := w; i < ntasks; i += nworkers {
+					if stop != nil && stop.Load() != 0 {
+						return
+					}
 					fn(i, w)
 				}
 			}(w)
@@ -111,7 +125,7 @@ func parallelFor(nworkers, ntasks int, sched Schedule, fn func(task, worker int)
 	wg.Wait()
 }
 
-func runTyped[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, cfg Config, ws *Workspace[M, R]) Stats {
+func runTyped[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, cfg Config, ws *Workspace[M, R], ctrl *controller) (Stats, error) {
 	n := int(g.NumVertices())
 	props := g.Props()
 	active := g.Active()
@@ -141,17 +155,26 @@ func runTyped[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 	if maxIter <= 0 {
 		maxIter = math.MaxInt
 	}
+	stop := ctrl.flag()
+	runStart := time.Now()
 
 	var stats Stats
+	stats.Reason = MaxIterations // what remains if the loop runs out
 	for iter := 0; iter < maxIter; iter++ {
-		stats.ActiveSum += int64(active.Count())
+		if r, ok := ctrl.stopped(); ok {
+			stats.Reason = r
+			return stats, r.err()
+		}
+		stepStart := time.Now()
+		frontier := int64(active.Count())
+		stats.ActiveSum += frontier
 		stats.Iterations++
 
 		// Phase 1: SendMessage over active vertices builds the sparse
 		// message vector (Algorithm 2 lines 3-5).
 		if x != nil {
 			x.Reset()
-			parallelFor(cfg.Threads, nchunks, cfg.Schedule, func(c, w int) {
+			parallelFor(cfg.Threads, nchunks, cfg.Schedule, stop, func(c, w int) {
 				st := &locals[w]
 				active.IterateRange(chunks[c], chunks[c+1], func(v uint32) {
 					if m, ok := p.SendMessage(v, props[v]); ok {
@@ -162,7 +185,7 @@ func runTyped[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 			})
 		} else {
 			xs.Reset()
-			parallelFor(cfg.Threads, nchunks, cfg.Schedule, func(c, w int) {
+			parallelFor(cfg.Threads, nchunks, cfg.Schedule, stop, func(c, w int) {
 				st := &locals[w]
 				var run []sparse.Entry[M]
 				active.IterateRange(chunks[c], chunks[c+1], func(v uint32) {
@@ -180,49 +203,77 @@ func runTyped[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 				sortedRuns[c] = nil
 			}
 		}
-		sent, _ := stats.absorb(locals)
-		if sent == 0 {
-			break
-		}
+		sent, _, _ := stats.absorb(locals)
+		var applies, nactive int64
+		if sent > 0 {
+			// Phase 2: generalized SpMV (Algorithm 1). Each partition owns a
+			// disjoint 64-aligned output row range, so no synchronization on y.
+			y.Reset()
+			if outParts != nil {
+				parallelFor(cfg.Threads, len(outParts), cfg.Schedule, stop, func(i, w int) {
+					if x != nil {
+						spmvBitvec(outParts[i], x, props, p, y, &locals[w])
+					} else {
+						spmvSorted(outParts[i], xs, props, p, y, &locals[w])
+					}
+				})
+			}
+			if inParts != nil {
+				parallelFor(cfg.Threads, len(inParts), cfg.Schedule, stop, func(i, w int) {
+					if x != nil {
+						spmvBitvec(inParts[i], x, props, p, y, &locals[w])
+					} else {
+						spmvSorted(inParts[i], xs, props, p, y, &locals[w])
+					}
+				})
+			}
 
-		// Phase 2: generalized SpMV (Algorithm 1). Each partition owns a
-		// disjoint 64-aligned output row range, so no synchronization on y.
-		y.Reset()
-		if outParts != nil {
-			parallelFor(cfg.Threads, len(outParts), cfg.Schedule, func(i, w int) {
-				if x != nil {
-					spmvBitvec(outParts[i], x, props, p, y, &locals[w])
-				} else {
-					spmvSorted(outParts[i], xs, props, p, y, &locals[w])
-				}
-			})
-		}
-		if inParts != nil {
-			parallelFor(cfg.Threads, len(inParts), cfg.Schedule, func(i, w int) {
-				if x != nil {
-					spmvBitvec(inParts[i], x, props, p, y, &locals[w])
-				} else {
-					spmvSorted(inParts[i], xs, props, p, y, &locals[w])
-				}
-			})
-		}
+			// A stop raised mid-SpMV must not Apply a partially reduced y:
+			// return the partial tallies without touching vertex state
+			// further.
+			if r, ok := ctrl.stopped(); ok {
+				stats.absorb(locals)
+				stats.Reason = r
+				return stats, r.err()
+			}
 
-		// Phase 3: Apply and re-activation (Algorithm 2 lines 7-13).
-		active.Reset()
-		parallelFor(cfg.Threads, nchunks, cfg.Schedule, func(c, w int) {
-			st := &locals[w]
-			y.IterateRange(chunks[c], chunks[c+1], func(v uint32, r R) {
-				st.applies++
-				if p.Apply(r, v, &props[v]) {
-					active.Set(v)
-					st.active++
-				}
+			// Phase 3: Apply and re-activation (Algorithm 2 lines 7-13).
+			active.Reset()
+			parallelFor(cfg.Threads, nchunks, cfg.Schedule, stop, func(c, w int) {
+				st := &locals[w]
+				y.IterateRange(chunks[c], chunks[c+1], func(v uint32, r R) {
+					st.applies++
+					if p.Apply(r, v, &props[v]) {
+						active.Set(v)
+						st.active++
+					}
+				})
 			})
-		})
-		_, nactive := stats.absorb(locals)
-		if nactive == 0 {
+			_, applies, nactive = stats.absorb(locals)
+		}
+		if r, ok := ctrl.stopped(); ok {
+			stats.Reason = r
+			return stats, r.err()
+		}
+		if ctrl.observer != nil {
+			err := ctrl.observer(IterationInfo{
+				Iteration:  iter + 1,
+				Active:     frontier,
+				Sent:       sent,
+				Applies:    applies,
+				NextActive: nactive,
+				Elapsed:    time.Since(stepStart),
+				Total:      time.Since(runStart),
+			})
+			if err != nil {
+				stats.Reason = StoppedByObserver
+				return stats, err
+			}
+		}
+		if sent == 0 || nactive == 0 {
+			stats.Reason = Converged
 			break
 		}
 	}
-	return stats
+	return stats, nil
 }

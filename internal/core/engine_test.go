@@ -70,7 +70,7 @@ func TestSSSPFigure3(t *testing.T) {
 		{Dispatch: Boxed, Vector: Sorted},
 	} {
 		g := fig3Graph(t, graph.Options{Partitions: 2})
-		stats := Run(g, ssspProg{}, cfg)
+		stats, _ := Run(g, ssspProg{}, cfg)
 		want := []float32{0, 1, 2, 2, 4}
 		for v, d := range want {
 			if g.Prop(uint32(v)) != d {
@@ -165,7 +165,7 @@ func TestMaxIterations(t *testing.T) {
 	}
 	g.SetAllProps(1)
 	g.SetAllActive()
-	stats := Run(g, alwaysActive{}, Config{MaxIterations: 5})
+	stats, _ := Run(g, alwaysActive{}, Config{MaxIterations: 5})
 	if stats.Iterations != 5 {
 		t.Errorf("Iterations = %d, want 5", stats.Iterations)
 	}
@@ -174,7 +174,7 @@ func TestMaxIterations(t *testing.T) {
 func TestNoActiveVerticesTerminatesImmediately(t *testing.T) {
 	g := fig3Graph(t, graph.Options{})
 	g.ClearActive()
-	stats := Run(g, ssspProg{}, Config{})
+	stats, _ := Run(g, ssspProg{}, Config{})
 	if stats.Iterations != 1 || stats.EdgesProcessed != 0 {
 		t.Errorf("stats = %+v, want 1 empty iteration", stats)
 	}
@@ -195,7 +195,7 @@ func TestBFSFrontierProgression(t *testing.T) {
 	g.SetAllProps(inf)
 	g.SetProp(0, 0)
 	g.SetActive(0)
-	stats := Run(g, ssspProg{}, Config{})
+	stats, _ := Run(g, ssspProg{}, Config{})
 	if got := []float32{g.Prop(0), g.Prop(1), g.Prop(2), g.Prop(3)}; got[1] != 1 || got[2] != 2 || got[3] != 3 {
 		t.Errorf("distances = %v", got)
 	}
@@ -291,7 +291,7 @@ func TestQuickStatsConsistency(t *testing.T) {
 			t.Fatal(err)
 		}
 		g.SetAllActive()
-		stats := Run(g, countProg{dir: graph.Out}, Config{MaxIterations: 1, Threads: 2})
+		stats, _ := Run(g, countProg{dir: graph.Out}, Config{MaxIterations: 1, Threads: 2})
 		return stats.EdgesProcessed == g.NumEdges() &&
 			stats.MessagesSent == int64(g.NumVertices()) &&
 			stats.Applies <= int64(g.NumVertices()) &&

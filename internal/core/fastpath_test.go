@@ -119,7 +119,7 @@ func TestSingleVertexGraph(t *testing.T) {
 	g.SetAllProps(inf)
 	g.SetProp(0, 0)
 	g.SetActive(0)
-	stats := Run(g, ssspProg{}, Config{})
+	stats, _ := Run(g, ssspProg{}, Config{})
 	if g.Prop(0) != 0 {
 		t.Error("vertex state disturbed")
 	}
@@ -137,7 +137,7 @@ func TestEdgelessGraph(t *testing.T) {
 	g.SetAllProps(inf)
 	g.SetProp(0, 0)
 	g.SetActive(0)
-	stats := Run(g, ssspProg{}, Config{Threads: 2})
+	stats, _ := Run(g, ssspProg{}, Config{Threads: 2})
 	if stats.EdgesProcessed != 0 {
 		t.Errorf("EdgesProcessed = %d on edgeless graph", stats.EdgesProcessed)
 	}
@@ -161,7 +161,7 @@ func TestSelfLoopOnlyGraph(t *testing.T) {
 	g.SetAllProps(inf)
 	g.SetProp(0, 0)
 	g.SetActive(0)
-	stats := Run(g, ssspProg{}, Config{MaxIterations: 50})
+	stats, _ := Run(g, ssspProg{}, Config{MaxIterations: 50})
 	if stats.Iterations >= 50 {
 		t.Error("self loop caused livelock")
 	}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"graphmat/internal/gen"
+	"graphmat/internal/graph"
+)
+
+// endlessGraph builds an RMAT graph whose alwaysActive run never converges —
+// the cancellation tests' workload.
+func endlessGraph(t testing.TB, scale int) *graph.Graph[int64, float32] {
+	t.Helper()
+	adj := gen.RMAT(gen.RMATOptions{Scale: scale, EdgeFactor: 8, Seed: 7, NoPermute: true})
+	g, err := graph.NewFromCOO[int64, float32](adj, graph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetAllProps(1)
+	g.SetAllActive()
+	return g
+}
+
+// TestRunContextCancelMidRun cancels an endless run on a large RMAT graph
+// from its own observer and checks the run stops within one further
+// superstep, reports Canceled, and returns ctx's error. Runs under -race in
+// CI, so it also exercises the stop flag's publication across the watcher
+// goroutine and the partition workers.
+func TestRunContextCancelMidRun(t *testing.T) {
+	g := endlessGraph(t, 13)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const cancelAt = 2
+	stats, err := RunContext(ctx, g, alwaysActive{}, Config{}, nil,
+		WithObserver(func(info IterationInfo) error {
+			if info.Iteration == cancelAt {
+				cancel()
+			}
+			return nil
+		}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if stats.Reason != Canceled {
+		t.Fatalf("Reason = %v, want Canceled", stats.Reason)
+	}
+	// The watcher goroutine raises the stop flag asynchronously; the loop
+	// must notice it no later than the superstep after the cancel.
+	if stats.Iterations < cancelAt || stats.Iterations > cancelAt+1 {
+		t.Fatalf("Iterations = %d, want %d or %d", stats.Iterations, cancelAt, cancelAt+1)
+	}
+}
+
+// TestRunContextCancelBoxed covers the same cancellation path through the
+// boxed (naive-dispatch) engine.
+func TestRunContextCancelBoxed(t *testing.T) {
+	g := endlessGraph(t, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stats, err := RunContext(ctx, g, alwaysActive{}, Config{Dispatch: Boxed}, nil,
+		WithObserver(func(info IterationInfo) error {
+			if info.Iteration == 1 {
+				cancel()
+			}
+			return nil
+		}))
+	if !errors.Is(err, context.Canceled) || stats.Reason != Canceled {
+		t.Fatalf("err = %v, Reason = %v; want Canceled", err, stats.Reason)
+	}
+	if stats.Iterations > 2 {
+		t.Fatalf("Iterations = %d, want <= 2", stats.Iterations)
+	}
+}
+
+// TestWorkspaceReusableAfterCancel cancels an SSSP run mid-flight and then
+// reuses the same workspace for a full run: the canceled run must not poison
+// the scratch — the rerun's distances must match a fresh-workspace run
+// bit for bit.
+func TestWorkspaceReusableAfterCancel(t *testing.T) {
+	adj := gen.RMAT(gen.RMATOptions{Scale: 12, EdgeFactor: 8, Seed: 11, MaxWeight: 10, NoPermute: true})
+	g, err := graph.NewFromCOO[float32, float32](adj, graph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int(g.NumVertices())
+	reset := func() {
+		g.SetAllProps(inf)
+		g.SetProp(0, 0)
+		g.ClearActive()
+		g.SetActive(0)
+	}
+
+	ws := NewWorkspace[float32, float32](n, Bitvector)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	reset()
+	stats, err := RunContext(ctx, g, ssspProg{}, Config{}, ws,
+		WithObserver(func(info IterationInfo) error {
+			if info.Iteration == 1 {
+				cancel()
+			}
+			return nil
+		}))
+	if !errors.Is(err, context.Canceled) || stats.Reason != Canceled {
+		t.Fatalf("canceled run: err = %v, Reason = %v", err, stats.Reason)
+	}
+
+	// Rerun to convergence with the canceled run's workspace.
+	reset()
+	if _, err := RunContext(context.Background(), g, ssspProg{}, Config{}, ws); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float32, n)
+	for v := 0; v < n; v++ {
+		got[v] = g.Prop(uint32(v))
+	}
+
+	// Reference run with fresh scratch.
+	reset()
+	if _, err := Run(g, ssspProg{}, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		if got[v] != g.Prop(uint32(v)) {
+			t.Fatalf("dist[%d] = %v after reuse, want %v", v, got[v], g.Prop(uint32(v)))
+		}
+	}
+}
+
+// TestRunContextPreCanceled checks a context canceled before the run starts
+// stops it before the first superstep.
+func TestRunContextPreCanceled(t *testing.T) {
+	g := endlessGraph(t, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stats, err := RunContext(ctx, g, alwaysActive{}, Config{}, nil)
+	if !errors.Is(err, context.Canceled) || stats.Reason != Canceled {
+		t.Fatalf("err = %v, Reason = %v; want Canceled", err, stats.Reason)
+	}
+	if stats.Iterations != 0 {
+		t.Fatalf("Iterations = %d, want 0", stats.Iterations)
+	}
+}
+
+// TestRunContextDeadline checks both deadline sources: a context deadline
+// and the engine-level WithMaxDuration budget.
+func TestRunContextDeadline(t *testing.T) {
+	g := endlessGraph(t, 8)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	stats, err := RunContext(ctx, g, alwaysActive{}, Config{}, nil)
+	if !errors.Is(err, context.DeadlineExceeded) || stats.Reason != DeadlineExceeded {
+		t.Fatalf("ctx deadline: err = %v, Reason = %v", err, stats.Reason)
+	}
+
+	g.SetAllProps(1)
+	g.SetAllActive()
+	stats, err = RunContext(context.Background(), g, alwaysActive{}, Config{}, nil,
+		WithMaxDuration(20*time.Millisecond))
+	if !errors.Is(err, context.DeadlineExceeded) || stats.Reason != DeadlineExceeded {
+		t.Fatalf("max duration: err = %v, Reason = %v", err, stats.Reason)
+	}
+}
+
+// TestObserverStopsRun checks an observer error stops the run with
+// StoppedByObserver and surfaces the observer's error verbatim.
+func TestObserverStopsRun(t *testing.T) {
+	g := endlessGraph(t, 6)
+	errEnough := errors.New("enough")
+	stats, err := RunContext(context.Background(), g, alwaysActive{}, Config{}, nil,
+		WithObserver(func(info IterationInfo) error {
+			if info.Iteration == 3 {
+				return errEnough
+			}
+			return nil
+		}))
+	if !errors.Is(err, errEnough) {
+		t.Fatalf("err = %v, want the observer's error", err)
+	}
+	if stats.Reason != StoppedByObserver || stats.Iterations != 3 {
+		t.Fatalf("Reason = %v, Iterations = %d; want StoppedByObserver after 3", stats.Reason, stats.Iterations)
+	}
+}
+
+// TestObserverIterationInfo checks the per-superstep progress stream on the
+// deterministic path graph 0->1->2->3: iteration numbers count 1..4, the
+// frontier is one vertex per superstep, and the final report shows an empty
+// next frontier.
+func TestObserverIterationInfo(t *testing.T) {
+	g := fig3Graph(t, graph.Options{Partitions: 2})
+	var infos []IterationInfo
+	stats, err := RunContext(context.Background(), g, ssspProg{}, Config{}, nil,
+		WithObserver(func(info IterationInfo) error {
+			infos = append(infos, info)
+			return nil
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reason != Converged {
+		t.Fatalf("Reason = %v, want Converged", stats.Reason)
+	}
+	if len(infos) != stats.Iterations {
+		t.Fatalf("observed %d supersteps, stats say %d", len(infos), stats.Iterations)
+	}
+	var sent int64
+	for i, info := range infos {
+		if info.Iteration != i+1 {
+			t.Fatalf("info[%d].Iteration = %d, want %d", i, info.Iteration, i+1)
+		}
+		sent += info.Sent
+	}
+	if sent != stats.MessagesSent {
+		t.Fatalf("observer saw %d messages, stats say %d", sent, stats.MessagesSent)
+	}
+	if last := infos[len(infos)-1]; last.NextActive != 0 {
+		t.Fatalf("final NextActive = %d, want 0", last.NextActive)
+	}
+}
+
+// TestStopReasons checks the terminal classification of uncanceled runs and
+// the JSON round-trip of the typed reason.
+func TestStopReasons(t *testing.T) {
+	g := fig3Graph(t, graph.Options{})
+	stats, err := Run(g, ssspProg{}, Config{})
+	if err != nil || stats.Reason != Converged {
+		t.Fatalf("converging run: err = %v, Reason = %v", err, stats.Reason)
+	}
+
+	e := endlessGraph(t, 4)
+	stats, err = Run(e, alwaysActive{}, Config{MaxIterations: 5})
+	if err != nil || stats.Reason != MaxIterations {
+		t.Fatalf("capped run: err = %v, Reason = %v", err, stats.Reason)
+	}
+
+	for _, r := range []StopReason{ReasonNone, Converged, MaxIterations, Canceled, DeadlineExceeded, StoppedByObserver} {
+		b, err := r.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back StopReason
+		if err := back.UnmarshalJSON(b); err != nil || back != r {
+			t.Fatalf("round-trip of %v: got %v, err %v", r, back, err)
+		}
+	}
+}

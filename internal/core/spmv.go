@@ -124,7 +124,7 @@ func SpMV[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], x *sparse
 	if p.Direction()&graph.In != 0 {
 		parts = g.InPartitions()
 	}
-	parallelFor(cfg.Threads, len(parts), cfg.Schedule, func(i, w int) {
+	parallelFor(cfg.Threads, len(parts), cfg.Schedule, nil, func(i, w int) {
 		spmvBitvec(parts[i], x, g.Props(), p, y, &locals[w])
 	})
 	return y

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"graphmat/internal/graph"
@@ -68,16 +69,10 @@ func (ws *Workspace[M, R]) Reset() {
 // RunWithWorkspace is Run with caller-managed scratch. The workspace must
 // have been created for the graph's vertex count and the configuration's
 // vector kind; mismatches error. The boxed (naive) dispatch path manages its
-// own type-erased scratch and ignores the workspace.
+// own type-erased scratch and ignores the workspace. It is RunContext
+// without a context; see RunContext for the cancelable, observable variant.
 func RunWithWorkspace[V, E, M, R any, P Program[V, E, M, R]](
 	g *graph.Graph[V, E], p P, cfg Config, ws *Workspace[M, R],
 ) (Stats, error) {
-	cfg = cfg.withDefaults()
-	if cfg.Dispatch == Boxed {
-		return runBoxed(g, p, cfg), nil
-	}
-	if err := ws.Check(int(g.NumVertices()), cfg.Vector); err != nil {
-		return Stats{}, err
-	}
-	return runTyped(g, p, cfg, ws), nil
+	return RunContext[V, E, M, R, P](context.Background(), g, p, cfg, ws)
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -190,6 +191,16 @@ func (g *GraphEntry) instance(algo string) (*algoInstance, error) {
 // shared), drives the engine through a pooled workspace, and accumulates the
 // run's engine stats into the instance tallies.
 func (g *GraphEntry) Run(algo string, p algorithms.Params) (algorithms.Result, error) {
+	return g.RunContext(context.Background(), algo, p, nil)
+}
+
+// RunContext is Run under a context: when ctx is canceled — a client
+// disconnect, a per-request timeout — the engine aborts cooperatively
+// mid-run, releasing the instance lock for the next query; a canceled run's
+// workspace is still recycled (the engine leaves scratch reusable). obs,
+// when non-nil, receives one progress report per superstep while the run is
+// in flight.
+func (g *GraphEntry) RunContext(ctx context.Context, algo string, p algorithms.Params, obs algorithms.Observer) (algorithms.Result, error) {
 	ai, err := g.instance(algo)
 	if err != nil {
 		return algorithms.Result{}, err
@@ -198,7 +209,7 @@ func (g *GraphEntry) Run(algo string, p algorithms.Params) (algorithms.Result, e
 	defer ai.runMu.Unlock()
 	scratch := ai.pool.Get()
 	start := time.Now()
-	res, err := ai.inst.Run(p, scratch)
+	res, err := ai.inst.RunContext(ctx, p, scratch, obs)
 	wall := time.Since(start).Seconds()
 	if rs, ok := scratch.(interface{ Reset() }); ok {
 		rs.Reset() // stale messages must not leak into the next query

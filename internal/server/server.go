@@ -8,15 +8,18 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
+	"graphmat"
 	"graphmat/algorithms"
 )
 
@@ -229,6 +232,12 @@ type runResponse struct {
 	algorithms.Result
 }
 
+// handleRun executes one query. The run inherits the request's context, so a
+// client that disconnects cancels its engine work; two query parameters
+// refine the session: timeout_ms bounds the run's wall time (expiry returns
+// 504), and stream=1 switches the response to NDJSON — one progress line per
+// superstep while the run is in flight, then a final line with the same
+// shape as the blocking response.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	name, algo := r.PathValue("name"), r.PathValue("algo")
 	g, err := s.reg.Get(name)
@@ -252,15 +261,32 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	q := r.URL.Query()
+	ctx := r.Context()
+	if tms := q.Get("timeout_ms"); tms != "" {
+		n, err := strconv.ParseInt(tms, 10, 64)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, "invalid timeout_ms %q: want a positive integer", tms)
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(n)*time.Millisecond)
+		defer cancel()
+	}
+	if stream := q.Get("stream"); stream == "1" || stream == "true" {
+		s.streamRun(ctx, w, g, name, algo, params)
+		return
+	}
+
 	key := cacheKey(name, algo, params)
 	if res, ok := s.cache.get(key); ok {
 		writeJSON(w, http.StatusOK, runResponse{Graph: name, Algorithm: algo, Cached: true, Result: res})
 		return
 	}
 	start := time.Now()
-	res, err := g.Run(algo, params)
+	res, err := g.RunContext(ctx, algo, params, nil)
 	if err != nil {
-		writeError(w, errorCode(err), "%v", err)
+		writeError(w, runErrorCode(err), "%v", err)
 		return
 	}
 	// Don't cache under a name whose graph was deleted (or replaced)
@@ -277,6 +303,81 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Graph:      name,
 		Algorithm:  algo,
 		DurationMS: float64(time.Since(start).Microseconds()) / 1000,
+		Result:     res,
+	})
+}
+
+// runErrorCode maps a run failure to an HTTP status: an expired per-request
+// timeout is a gateway timeout; a canceled context means the client already
+// went away (the write is best-effort — 499 follows the nginx convention for
+// client-closed requests).
+func runErrorCode(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499
+	}
+	return errorCode(err)
+}
+
+// streamProgress is one NDJSON progress line of a stream=1 run.
+type streamProgress struct {
+	Iteration  int     `json:"iteration"`
+	Active     int64   `json:"active"`
+	Sent       int64   `json:"sent"`
+	NextActive int64   `json:"next_active"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	TotalMS    float64 `json:"total_ms"`
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// streamRun executes a run in streaming mode. The result cache is bypassed
+// on the read side (a cache hit would defeat the point of watching
+// progress), but the computed result is still published to it. Because
+// progress lines flush before the run finishes, the HTTP status is always
+// 200; a run that fails mid-stream reports the failure as a final
+// {"error": ...} line instead of a status code. A write failure — the
+// client hung up — stops the run through the observer's error return.
+func (s *Server) streamRun(ctx context.Context, w http.ResponseWriter, g *GraphEntry, name, algo string, params algorithms.Params) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	writeLine := func(v any) error {
+		if err := enc.Encode(v); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+
+	start := time.Now()
+	res, err := g.RunContext(ctx, algo, params, func(info graphmat.IterationInfo) error {
+		return writeLine(streamProgress{
+			Iteration:  info.Iteration,
+			Active:     info.Active,
+			Sent:       info.Sent,
+			NextActive: info.NextActive,
+			ElapsedMS:  ms(info.Elapsed),
+			TotalMS:    ms(info.Total),
+		})
+	})
+	if err != nil {
+		_ = writeLine(map[string]string{"error": err.Error(), "reason": res.Stats.Reason.String()})
+		return
+	}
+	s.cache.put(cacheKey(name, algo, params), res)
+	if !s.reg.Has(g) {
+		s.cache.invalidateGraph(name)
+	}
+	_ = writeLine(runResponse{
+		Graph:      name,
+		Algorithm:  algo,
+		DurationMS: ms(time.Since(start)),
 		Result:     res,
 	})
 }
