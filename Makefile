@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt lint staticcheck test race bench ci
+.PHONY: all build fmt lint staticcheck test race bench fuzz ci
 
 all: build
 
@@ -33,11 +33,19 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/sparse/... ./internal/distributed/... ./internal/server/...
+	$(GO) test -race ./internal/core/... ./internal/sparse/... ./internal/distributed/... ./internal/server/... ./internal/graph/...
+
+# Fuzz smoke over the graph readers: 10s per target (go test takes one
+# -fuzz pattern at a time). The targets also assert parallel parse ≡
+# sequential parse on every input.
+fuzz:
+	$(GO) test -run='^$$' -fuzz='^FuzzReadMTX$$' -fuzztime=10s ./internal/graph
+	$(GO) test -run='^$$' -fuzz='^FuzzReadEdgeList$$' -fuzztime=10s ./internal/graph
+	$(GO) test -run='^$$' -fuzz='^FuzzReadBinary$$' -fuzztime=10s ./internal/graph
 
 # One pass over every benchmark: perf regressions that break a benchmark
 # surface as failures-to-run.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-ci: build lint test race bench
+ci: build lint test race fuzz bench

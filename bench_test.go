@@ -7,6 +7,7 @@
 package graphmat_test
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"strconv"
@@ -14,6 +15,8 @@ import (
 
 	"graphmat/internal/bench"
 	"graphmat/internal/counters"
+	"graphmat/internal/gen"
+	"graphmat/internal/graph"
 	"graphmat/internal/sparse"
 )
 
@@ -291,6 +294,96 @@ func BenchmarkFig7Ablation(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				s.RunPR()
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ingestion benchmarks (recorded in BENCH_ingest.json): the parallel load
+// pipeline at 1/4/8 workers. Worker counts beyond GOMAXPROCS still measure
+// correctly — they exercise oversubscription, not speedup.
+
+// ingestWorkerCounts is the ladder every ingestion benchmark climbs.
+var ingestWorkerCounts = []int{1, 4, 8}
+
+func ingestAdj() *sparse.COO[float32] {
+	scale := 16 + benchShift()
+	if scale < 10 {
+		scale = 10
+	}
+	return gen.RMAT(gen.RMATOptions{Scale: scale, EdgeFactor: 16, Seed: 11, MaxWeight: 100})
+}
+
+// BenchmarkLoadEdgeList measures chunk-parallel text edge-list parsing.
+func BenchmarkLoadEdgeList(b *testing.B) {
+	var buf bytes.Buffer
+	if err := graph.WriteEdgeList(&buf, ingestAdj()); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, w := range ingestWorkerCounts {
+		b.Run(fmt.Sprintf("workers_%d", w), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := graph.ParseEdgeList(data, graph.LoadOptions{Parallelism: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLoadBinary measures sectioned GMATBIN2 decoding.
+func BenchmarkLoadBinary(b *testing.B) {
+	var buf bytes.Buffer
+	if err := graph.WriteBinary2(&buf, ingestAdj(), 64); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, w := range ingestWorkerCounts {
+		b.Run(fmt.Sprintf("workers_%d", w), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := graph.ParseBinary(data, graph.LoadOptions{Parallelism: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBuildDCSC measures the scatter-based concurrent partition build
+// (sort and dedup excluded — the input is prepared once).
+func BenchmarkBuildDCSC(b *testing.B) {
+	adj := ingestAdj()
+	adj.Transpose()
+	adj.SortColMajorParallel(0)
+	adj.DedupKeepFirstParallel(0)
+	nparts := 64
+	for _, w := range ingestWorkerCounts {
+		b.Run(fmt.Sprintf("workers_%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				parts := sparse.BuildPartitionedDCSCParallel(adj, nparts, w)
+				if len(parts) != nparts {
+					b.Fatal("bad partition count")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIngestSort measures the parallel stable merge sort feeding the
+// build.
+func BenchmarkIngestSort(b *testing.B) {
+	adj := ingestAdj()
+	for _, w := range ingestWorkerCounts {
+		b.Run(fmt.Sprintf("workers_%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				c := adj.Clone()
+				b.StartTimer()
+				c.SortColMajorParallel(w)
 			}
 		})
 	}

@@ -43,6 +43,7 @@ func main() {
 		iters    = flag.Int("iters", 10, "iterations for pagerank/ppr/hits/cf")
 		top      = flag.Int("top", 5, "print the top-k vertices of the result")
 		threads  = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		jobs     = flag.Int("j", 0, "parallel ingestion workers for loading the graph (0 = GOMAXPROCS, 1 = sequential)")
 		timeout  = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 		progress = flag.Bool("progress", false, "print per-superstep progress")
 	)
@@ -77,7 +78,7 @@ func main() {
 		}
 	}
 
-	adj, err := graphmat.LoadFile(*path)
+	adj, err := graphmat.LoadFileOptions(*path, graphmat.LoadOptions{Parallelism: *jobs})
 	if err != nil {
 		fatal("%v", err)
 	}

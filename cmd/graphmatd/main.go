@@ -14,6 +14,7 @@
 //	GET    /algorithms                 available algorithms and their parameters
 //	GET    /graphs                     registered graphs
 //	POST   /graphs                     register a graph: {"name":..., "path":...} or {"name":..., "generator":"rmat", "scale":14, ...}
+//	POST   /graphs?name=N&format=F     upload a graph body (format mtx, edgelist or bin), parsed server-side in parallel
 //	GET    /graphs/{name}              one graph's details
 //	DELETE /graphs/{name}              unregister a graph
 //	POST   /graphs/{name}/run/{algo}   run an algorithm; body holds its parameters
@@ -49,6 +50,8 @@ func main() {
 		addr       = flag.String("addr", ":8765", "listen address")
 		cacheSize  = flag.Int("cache", 128, "result-cache capacity in entries (negative disables)")
 		partitions = flag.Int("partitions", 0, "matrix partitions per graph build (0 = auto)")
+		jobs       = flag.Int("j", 0, "ingestion workers for uploads and preloads (0 = GOMAXPROCS, 1 = sequential)")
+		maxUpload  = flag.Int64("max-upload", 0, "largest accepted POST /graphs upload in bytes (0 = 1 GiB)")
 		quiet      = flag.Bool("quiet", false, "suppress per-request logging")
 		graphs     graphFlags
 	)
@@ -60,7 +63,13 @@ func main() {
 	if *quiet {
 		reqLogger = nil
 	}
-	srv := server.New(server.Config{CacheSize: *cacheSize, Partitions: *partitions, Logger: reqLogger})
+	srv := server.New(server.Config{
+		CacheSize:      *cacheSize,
+		Partitions:     *partitions,
+		Workers:        *jobs,
+		MaxUploadBytes: *maxUpload,
+		Logger:         reqLogger,
+	})
 
 	for _, spec := range graphs {
 		name, rest, ok := strings.Cut(spec, "=")

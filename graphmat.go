@@ -194,8 +194,19 @@ func SpMV[V, E, M, R any, P Program[V, E, M, R]](g *Graph[V, E], x *Vector[M], p
 	return core.SpMV(g, x, p, cfg)
 }
 
-// LoadFile reads a graph file (.mtx Matrix Market, .bin binary edge list, or
-// whitespace text edge list) into adjacency triples.
+// LoadFile reads a graph file (.mtx Matrix Market, .bin binary edge list —
+// either GMATBIN version — or whitespace text edge list) into adjacency
+// triples. Parsing is chunk-parallel across all cores and bit-identical to a
+// sequential load; use LoadFileOptions to control the worker count.
 func LoadFile(path string) (*COO[float32], error) {
 	return graph.LoadFile(path)
+}
+
+// LoadOptions configures graph file loading (ingestion parallelism, edge-list
+// minimum vertex count).
+type LoadOptions = graph.LoadOptions
+
+// LoadFileOptions is LoadFile with explicit ingestion options.
+func LoadFileOptions(path string, opt LoadOptions) (*COO[float32], error) {
+	return graph.LoadFileOptions(path, opt)
 }

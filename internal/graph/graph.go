@@ -37,6 +37,11 @@ type Options struct {
 	// Directions selects which traversal structures to build. Zero means
 	// Out. Building only what an algorithm needs halves memory.
 	Directions Direction
+	// Workers is the goroutine count for the ingestion pipeline (sorting,
+	// dedup and per-partition DCSC builds). 0 means GOMAXPROCS; 1 forces the
+	// sequential path. Both paths produce bit-identical graphs — the
+	// differential tests assert it — so parallel is the default.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -45,6 +50,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Directions == 0 {
 		o.Directions = Out
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -92,8 +100,8 @@ func NewFromCOO[V, E any](adj *sparse.COO[E], opts Options) (*Graph[V, E], error
 
 	// Reorient to Gᵀ: row = dst, col = src.
 	adj.Transpose()
-	adj.SortColMajor()
-	adj.DedupKeepFirst()
+	adj.SortColMajorParallel(opts.Workers)
+	adj.DedupKeepFirstParallel(opts.Workers)
 	g.fwd = adj
 	g.m = int64(len(adj.Entries))
 
@@ -101,7 +109,7 @@ func NewFromCOO[V, E any](adj *sparse.COO[E], opts Options) (*Graph[V, E], error
 	g.inDeg = adj.RowCounts()
 
 	if opts.Directions&Out != 0 {
-		g.outParts = sparse.BuildPartitionedDCSC(g.fwd, opts.Partitions)
+		g.outParts = sparse.BuildPartitionedDCSCParallel(g.fwd, opts.Partitions, opts.Workers)
 	}
 	if opts.Directions&In != 0 {
 		g.buildBackward()
@@ -115,8 +123,8 @@ func NewFromCOO[V, E any](adj *sparse.COO[E], opts Options) (*Graph[V, E], error
 func (g *Graph[V, E]) buildBackward() {
 	g.bwd = g.fwd.Clone()
 	g.bwd.Transpose()
-	g.bwd.SortColMajor()
-	g.inParts = sparse.BuildPartitionedDCSC(g.bwd, g.opts.Partitions)
+	g.bwd.SortColMajorParallel(g.opts.Workers)
+	g.inParts = sparse.BuildPartitionedDCSCParallel(g.bwd, g.opts.Partitions, g.opts.Workers)
 }
 
 // NumVertices returns the number of vertices.
@@ -183,7 +191,7 @@ func (g *Graph[V, E]) InDegrees() []uint32 { return g.inDeg }
 // Direction Out.
 func (g *Graph[V, E]) OutPartitions() []*sparse.DCSC[E] {
 	if g.outParts == nil {
-		g.outParts = sparse.BuildPartitionedDCSC(g.fwd, g.opts.Partitions)
+		g.outParts = sparse.BuildPartitionedDCSCParallel(g.fwd, g.opts.Partitions, g.opts.Workers)
 	}
 	return g.outParts
 }
@@ -209,10 +217,10 @@ func (g *Graph[V, E]) Repartition(nparts int) {
 	}
 	g.opts.Partitions = nparts
 	if g.outParts != nil {
-		g.outParts = sparse.BuildPartitionedDCSC(g.fwd, nparts)
+		g.outParts = sparse.BuildPartitionedDCSCParallel(g.fwd, nparts, g.opts.Workers)
 	}
 	if g.inParts != nil {
-		g.inParts = sparse.BuildPartitionedDCSC(g.bwd, nparts)
+		g.inParts = sparse.BuildPartitionedDCSCParallel(g.bwd, nparts, g.opts.Workers)
 	}
 }
 

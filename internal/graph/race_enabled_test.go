@@ -1,0 +1,7 @@
+//go:build race
+
+package graph
+
+// raceEnabled lets heavyweight tests scale down under the race detector,
+// whose ~10× slowdown would otherwise dominate the suite.
+const raceEnabled = true

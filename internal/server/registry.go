@@ -22,14 +22,16 @@ import (
 // workspace pool.
 type Registry struct {
 	partitions int
+	workers    int
 	mu         sync.RWMutex
 	graphs     map[string]*GraphEntry
 }
 
 // NewRegistry returns an empty registry. partitions is passed to every graph
-// build; 0 selects the engine default.
-func NewRegistry(partitions int) *Registry {
-	return &Registry{partitions: partitions, graphs: make(map[string]*GraphEntry)}
+// build; 0 selects the engine default. workers is the ingestion parallelism
+// for file-backed sources; 0 means GOMAXPROCS.
+func NewRegistry(partitions, workers int) *Registry {
+	return &Registry{partitions: partitions, workers: workers, graphs: make(map[string]*GraphEntry)}
 }
 
 // GraphEntry is one registered graph.
@@ -70,18 +72,46 @@ var (
 	ErrAlgoNotFound  = fmt.Errorf("algorithm not found")
 )
 
-// Add loads a source and registers it under name.
-func (r *Registry) Add(name string, src Source) (*GraphEntry, error) {
+// CheckName rejects unusable or already-taken graph names. Callers about to
+// pay for a load or an upload parse should call it first; AddCOO re-checks
+// under the lock, so this is a fast-fail, not the authority.
+func (r *Registry) CheckName(name string) error {
 	if name == "" || strings.ContainsAny(name, "\x00/") {
-		return nil, fmt.Errorf("invalid graph name %q", name)
+		return fmt.Errorf("invalid graph name %q", name)
 	}
-	adj, err := src.Load()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if _, dup := r.graphs[name]; dup {
+		return fmt.Errorf("%w: %s", ErrGraphExists, name)
+	}
+	return nil
+}
+
+// Add loads a source and registers it under name. The name is validated
+// before the load so a bad or duplicate name cannot waste a multi-gigabyte
+// file parse.
+func (r *Registry) Add(name string, src Source) (*GraphEntry, error) {
+	if err := r.CheckName(name); err != nil {
+		return nil, err
+	}
+	adj, err := src.LoadWorkers(r.workers)
 	if err != nil {
 		return nil, err
 	}
+	return r.AddCOO(name, src.Describe(), adj)
+}
+
+// AddCOO registers already-parsed adjacency triples under name — the upload
+// path, where the edges arrived in the request body rather than from a
+// Source. The entry lazily builds per-algorithm property graphs and workspace
+// pools exactly like a Source-loaded graph.
+func (r *Registry) AddCOO(name, source string, adj *sparse.COO[float32]) (*GraphEntry, error) {
+	if name == "" || strings.ContainsAny(name, "\x00/") {
+		return nil, fmt.Errorf("invalid graph name %q", name)
+	}
 	entry := &GraphEntry{
 		name:       name,
-		source:     src.Describe(),
+		source:     source,
 		adj:        adj,
 		partitions: r.partitions,
 		insts:      make(map[string]*algoInstance),

@@ -16,11 +16,14 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"graphmat"
 	"graphmat/algorithms"
+	"graphmat/internal/graph"
+	"graphmat/internal/sparse"
 )
 
 // Config configures a Server.
@@ -31,9 +34,17 @@ type Config struct {
 	// Partitions is the matrix partition count for graph builds; 0 selects
 	// the engine default.
 	Partitions int
+	// Workers is the ingestion parallelism for graph uploads (chunked
+	// parsing); 0 means GOMAXPROCS, 1 forces sequential parsing.
+	Workers int
+	// MaxUploadBytes caps the POST /graphs upload body; 0 means the default
+	// (1 GiB).
+	MaxUploadBytes int64
 	// Logger, when set, receives one line per request.
 	Logger *log.Logger
 }
+
+const defaultMaxUpload = 1 << 30
 
 // Server is the graphmatd HTTP service.
 type Server struct {
@@ -55,7 +66,7 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		cfg:      cfg,
-		reg:      NewRegistry(cfg.Partitions),
+		reg:      NewRegistry(cfg.Partitions, cfg.Workers),
 		cache:    newResultCache(size),
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
@@ -157,19 +168,98 @@ func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"graphs": infos})
 }
 
-// addGraphRequest is the POST /graphs body: a name plus a flattened Source.
+// addGraphRequest is the POST /graphs JSON body: a name plus a flattened
+// Source.
 type addGraphRequest struct {
 	Name string `json:"name"`
 	Source
 }
 
+// handleAddGraph registers a graph one of two ways. With a ?format= query
+// parameter the request is an upload: the body is the graph data itself
+// (format "mtx", "edgelist" or "bin"/"binary"), parsed server-side by the
+// parallel ingestion pipeline and registered under ?name=. Without ?format=
+// the body is the JSON Source form (path or generator).
 func (s *Server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
+	if format := r.URL.Query().Get("format"); format != "" {
+		s.handleUploadGraph(w, r, format)
+		return
+	}
 	var req addGraphRequest
 	if err := decodeJSON(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
 	entry, err := s.reg.Add(req.Name, req.Source)
+	if err != nil {
+		writeError(w, errorCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, infoOf(entry))
+}
+
+// handleUploadGraph is the upload half of POST /graphs: build the graph from
+// the request body and register it. An uploaded graph is indistinguishable
+// from one loaded at boot — same registry entry, same lazily built
+// per-algorithm property graphs and workspace pools — so /run results match
+// a boot-loaded copy of the same edges exactly.
+func (s *Server) handleUploadGraph(w http.ResponseWriter, r *http.Request, format string) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "upload: ?name= is required")
+		return
+	}
+	// Fail before reading the body: a taken or malformed name should not
+	// cost a gigabyte-scale read and parse.
+	if err := s.reg.CheckName(name); err != nil {
+		writeError(w, errorCode(err), "%v", err)
+		return
+	}
+	maxBytes := s.cfg.MaxUploadBytes
+	if maxBytes <= 0 {
+		maxBytes = defaultMaxUpload
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBytes))
+	if err != nil {
+		// Only an over-limit body is the client's size problem; anything
+		// else (disconnect, reset) is a plain bad request.
+		code := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, code, "reading upload: %v", err)
+		return
+	}
+	opt := graph.LoadOptions{Parallelism: s.cfg.Workers}
+	var coo *sparse.COO[float32]
+	switch strings.ToLower(format) {
+	case "mtx":
+		coo, err = graph.ParseMTX(body, opt)
+	case "edgelist", "txt", "el":
+		coo, err = graph.ParseEdgeList(body, opt)
+	case "bin", "binary":
+		coo, err = graph.ParseBinary(body, opt)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown upload format %q (want mtx, edgelist or bin)", format)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parsing %s upload: %v", format, err)
+		return
+	}
+	// Reject unusable graphs at POST time rather than registering an entry
+	// every /run would 400 on: algorithms need a square adjacency, and
+	// binary records carry ids the format itself does not bounds-check.
+	if coo.NRows != coo.NCols {
+		writeError(w, http.StatusBadRequest, "upload: adjacency must be square, got %dx%d", coo.NRows, coo.NCols)
+		return
+	}
+	if err := coo.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "upload: %v", err)
+		return
+	}
+	entry, err := s.reg.AddCOO(name, fmt.Sprintf("upload:%s (%d bytes)", strings.ToLower(format), len(body)), coo)
 	if err != nil {
 		writeError(w, errorCode(err), "%v", err)
 		return

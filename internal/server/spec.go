@@ -66,11 +66,17 @@ func (s Source) Describe() string {
 
 // Load produces the adjacency triples the source describes.
 func (s Source) Load() (*sparse.COO[float32], error) {
+	return s.LoadWorkers(0)
+}
+
+// LoadWorkers is Load with an explicit ingestion worker count for file
+// sources (0 = GOMAXPROCS, 1 = sequential); generators are unaffected.
+func (s Source) LoadWorkers(workers int) (*sparse.COO[float32], error) {
 	if s.Path != "" && s.Generator != "" {
 		return nil, fmt.Errorf("graph source: path and generator are mutually exclusive")
 	}
 	if s.Path != "" {
-		return graphmat.LoadFile(s.Path)
+		return graphmat.LoadFileOptions(s.Path, graphmat.LoadOptions{Parallelism: workers})
 	}
 	switch s.Generator {
 	case "rmat":

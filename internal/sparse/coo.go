@@ -10,7 +10,7 @@ package sparse
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Triple is a single (row, col, value) matrix entry. For a graph adjacency
@@ -54,28 +54,52 @@ func (c *COO[E]) Validate() error {
 	return nil
 }
 
-// SortColMajor sorts entries by (col, row). DCSC construction requires this
-// order.
-func (c *COO[E]) SortColMajor() {
-	sort.Slice(c.Entries, func(i, j int) bool {
-		a, b := c.Entries[i], c.Entries[j]
-		if a.Col != b.Col {
-			return a.Col < b.Col
+// cmpColMajor orders triples by (col, row); cmpRowMajor by (row, col). Both
+// leave duplicate (row, col) keys equal so a stable sort preserves their
+// input order — DedupKeepFirst's "first" is then the first occurrence in the
+// input, not an artifact of the sort.
+func cmpColMajor[E any](a, b Triple[E]) int {
+	if a.Col != b.Col {
+		if a.Col < b.Col {
+			return -1
 		}
-		return a.Row < b.Row
-	})
+		return 1
+	}
+	if a.Row != b.Row {
+		if a.Row < b.Row {
+			return -1
+		}
+		return 1
+	}
+	return 0
 }
 
-// SortRowMajor sorts entries by (row, col). CSR construction requires this
-// order.
-func (c *COO[E]) SortRowMajor() {
-	sort.Slice(c.Entries, func(i, j int) bool {
-		a, b := c.Entries[i], c.Entries[j]
-		if a.Row != b.Row {
-			return a.Row < b.Row
+func cmpRowMajor[E any](a, b Triple[E]) int {
+	if a.Row != b.Row {
+		if a.Row < b.Row {
+			return -1
 		}
-		return a.Col < b.Col
-	})
+		return 1
+	}
+	if a.Col != b.Col {
+		if a.Col < b.Col {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// SortColMajor stably sorts entries by (col, row). DCSC construction requires
+// this order.
+func (c *COO[E]) SortColMajor() {
+	slices.SortStableFunc(c.Entries, cmpColMajor[E])
+}
+
+// SortRowMajor stably sorts entries by (row, col). CSR construction requires
+// this order.
+func (c *COO[E]) SortRowMajor() {
+	slices.SortStableFunc(c.Entries, cmpRowMajor[E])
 }
 
 // DedupSum collapses duplicate (row,col) entries in place, combining values

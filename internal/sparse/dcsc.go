@@ -162,13 +162,9 @@ func PartitionRows(rowWeights []uint32, nparts int) []uint32 {
 }
 
 // BuildPartitionedDCSC splits the matrix into row partitions balanced by
-// nonzeros and builds one DCSC per partition. The input must be col-major
-// sorted and deduplicated.
+// nonzeros and builds one DCSC per partition, serially. The input must be
+// col-major sorted and deduplicated. BuildPartitionedDCSCParallel produces
+// the identical result on multiple goroutines.
 func BuildPartitionedDCSC[E any](c *COO[E], nparts int) []*DCSC[E] {
-	bounds := PartitionRows(c.RowCounts(), nparts)
-	parts := make([]*DCSC[E], nparts)
-	for i := 0; i < nparts; i++ {
-		parts[i] = BuildDCSC(c, bounds[i], bounds[i+1])
-	}
-	return parts
+	return BuildPartitionedDCSCParallel(c, nparts, 1)
 }

@@ -1,0 +1,191 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomCOO builds a COO with duplicate-heavy random entries so dedup and
+// stability are actually exercised.
+func randomCOO(rng *rand.Rand, n uint32, nnz int) *COO[float32] {
+	c := NewCOO[float32](n, n)
+	c.Entries = make([]Triple[float32], 0, nnz)
+	for i := 0; i < nnz; i++ {
+		c.Add(rng.Uint32()%n, rng.Uint32()%n, float32(rng.Intn(16)))
+	}
+	return c
+}
+
+func sameEntries(t *testing.T, a, b []Triple[float32]) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("entry counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func sameDCSC(t *testing.T, a, b *DCSC[float32]) {
+	t.Helper()
+	if a.NRows != b.NRows || a.NCols != b.NCols || a.RowLo != b.RowLo || a.RowHi != b.RowHi {
+		t.Fatalf("shape differs: %+v vs %+v", a, b)
+	}
+	for name, pair := range map[string][2][]uint32{
+		"JC": {a.JC, b.JC}, "CP": {a.CP, b.CP}, "IR": {a.IR, b.IR},
+	} {
+		x, y := pair[0], pair[1]
+		if len(x) != len(y) {
+			t.Fatalf("%s lengths differ: %d vs %d", name, len(x), len(y))
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				t.Fatalf("%s[%d] differs: %d vs %d", name, i, x[i], y[i])
+			}
+		}
+	}
+	if len(a.Val) != len(b.Val) {
+		t.Fatalf("Val lengths differ: %d vs %d", len(a.Val), len(b.Val))
+	}
+	for i := range a.Val {
+		if a.Val[i] != b.Val[i] {
+			t.Fatalf("Val[%d] differs: %v vs %v", i, a.Val[i], b.Val[i])
+		}
+	}
+}
+
+// TestParallelSortMatchesSequential: for arbitrary inputs and worker counts,
+// the chunked merge sort must produce the exact sequence the sequential
+// stable sort produces — including the relative order of duplicate keys.
+func TestParallelSortMatchesSequential(t *testing.T) {
+	prop := func(seed int64, sizeSel uint16, workerSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nnz := int(sizeSel)%40000 + 1
+		workers := int(workerSel)%7 + 2
+		c := randomCOO(rng, uint32(rng.Intn(200)+1), nnz)
+		// Tag values with their input position so stability violations are
+		// visible even for duplicate (row, col, val) triples.
+		for i := range c.Entries {
+			c.Entries[i].Val = float32(i)
+		}
+		seq, par := c.Clone(), c.Clone()
+		seq.SortColMajor()
+		par.SortColMajorParallel(workers)
+		for i := range seq.Entries {
+			if seq.Entries[i] != par.Entries[i] {
+				return false
+			}
+		}
+		seq2, par2 := c.Clone(), c.Clone()
+		seq2.SortRowMajor()
+		par2.SortRowMajorParallel(workers)
+		for i := range seq2.Entries {
+			if seq2.Entries[i] != par2.Entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelDedupMatchesSequential: boundary-aligned parallel dedup must
+// collapse duplicates exactly as the sequential pass does, for both the
+// summing and keep-first combiners.
+func TestParallelDedupMatchesSequential(t *testing.T) {
+	prop := func(seed int64, sizeSel uint16, workerSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nnz := int(sizeSel)%60000 + 1
+		workers := int(workerSel)%7 + 2
+		c := randomCOO(rng, uint32(rng.Intn(50)+1), nnz) // tiny id space → many dups
+		c.SortColMajor()
+		sum := func(a, b float32) float32 { return a + b }
+
+		seq, par := c.Clone(), c.Clone()
+		seq.DedupSum(sum)
+		par.DedupSumParallel(sum, workers)
+		if len(seq.Entries) != len(par.Entries) {
+			return false
+		}
+		for i := range seq.Entries {
+			if seq.Entries[i] != par.Entries[i] {
+				return false
+			}
+		}
+
+		seqF, parF := c.Clone(), c.Clone()
+		seqF.DedupKeepFirst()
+		parF.DedupKeepFirstParallel(workers)
+		if len(seqF.Entries) != len(parF.Entries) {
+			return false
+		}
+		for i := range seqF.Entries {
+			if seqF.Entries[i] != parF.Entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuildPartitionedDCSCMatchesReference: the scatter-based partition build
+// (serial and parallel) must equal the reference construction — one BuildDCSC
+// full-matrix filter pass per partition.
+func TestBuildPartitionedDCSCMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct {
+		n       uint32
+		nnz     int
+		nparts  int
+		workers int
+	}{
+		{1, 1, 1, 1},
+		{17, 40, 3, 2},
+		{100, 1000, 7, 4},
+		{512, 20000, 33, 8},
+		{1000, 5000, 16, 3},
+		{300, 0, 4, 4}, // empty matrix
+	} {
+		c := randomCOO(rng, tc.n, tc.nnz)
+		c.SortColMajor()
+		c.DedupKeepFirst()
+		bounds := PartitionRows(c.RowCounts(), tc.nparts)
+		want := make([]*DCSC[float32], tc.nparts)
+		for i := 0; i < tc.nparts; i++ {
+			want[i] = BuildDCSC(c, bounds[i], bounds[i+1])
+		}
+		for _, workers := range []int{1, tc.workers} {
+			got := BuildPartitionedDCSCParallel(c, tc.nparts, workers)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d parts=%d workers=%d: %d partitions, want %d",
+					tc.n, tc.nparts, workers, len(got), len(want))
+			}
+			for p := range got {
+				sameDCSC(t, want[p], got[p])
+			}
+		}
+	}
+}
+
+// TestParallelForCoversAllIndices guards the scheduling helper the whole
+// pipeline leans on.
+func TestParallelForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 5, 100} {
+		n := 1000
+		hits := make([]int32, n)
+		ParallelFor(n, workers, func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
