@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt lint staticcheck test race bench fuzz ci
+.PHONY: all build fmt lint staticcheck test race bench bench-engine fuzz ci
 
 all: build
 
@@ -47,5 +47,11 @@ fuzz:
 # surface as failures-to-run.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# The engine kernel baseline: the mode {pull, push, auto} × workers {1, 4, 8}
+# matrix behind BENCH_engine.json. Real measurement (1s per case), unlike the
+# bench smoke.
+bench-engine:
+	$(GO) test -bench='^BenchmarkEngine' -benchtime=1s -run='^$$' .
 
 ci: build lint test race fuzz bench

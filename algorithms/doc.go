@@ -22,6 +22,17 @@
 // cause, and Stats.Reason classifies every ending. The registry mirrors
 // this: Instance.RunContext is the session form of Instance.Run.
 //
+// Every runner accepts the engine's kernel mode through its Config (and the
+// registry's global "mode" parameter): Pull probes every stored column per
+// superstep, Push iterates the frontier (a true SpMSpV), and Auto — the
+// default — switches per superstep by frontier density against the
+// configured PushThreshold. Modes are bit-identical in results and differ
+// only in speed: push wins high-diameter, sparse-frontier traversals (BFS
+// and SSSP on road networks, low-reach sources on scale-free graphs), pull
+// wins dense iterative ranking (PageRank, PPR, HITS, where every vertex is
+// active every superstep), and Auto tracks the winner, recording its choices
+// in Stats.PushSupersteps/PullSupersteps.
+//
 // The benchmark harness builds graphs once and calls runners repeatedly, so
 // graph construction time is excluded from measurements exactly as the paper
 // excludes load time.

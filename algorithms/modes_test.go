@@ -1,0 +1,165 @@
+package algorithms
+
+import (
+	"math"
+	"testing"
+
+	"graphmat"
+	"graphmat/internal/gen"
+)
+
+// Algorithm-level mode differential: for every traversal and ranking driver
+// the registry serves, pull, push and auto must produce bit-identical result
+// series (compared as float64 bit patterns — "close enough" would hide a
+// fold-order divergence) and identical engine work tallies. The per-superstep
+// y-vector differential lives in internal/core; this level proves the whole
+// driver stack — preprocessing, workspaces, multi-run sessions — is
+// mode-oblivious too.
+
+// modeGoldens returns adversarial edge sets: the RMAT stand-in plus the
+// shapes that historically break frontier kernels (empty frontier via an
+// isolated source, full frontiers, self-loops, isolated vertices).
+func modeGoldens() map[string]func() *graphmat.COO[float32] {
+	return map[string]func() *graphmat.COO[float32]{
+		"rmat": func() *graphmat.COO[float32] {
+			return gen.RMAT(gen.RMATOptions{Scale: 10, EdgeFactor: 8, Seed: 42, MaxWeight: 10})
+		},
+		"self_loops_ring": func() *graphmat.COO[float32] {
+			c := graphmat.NewCOO[float32](200)
+			for v := uint32(0); v < 200; v++ {
+				c.Add(v, v, 1)
+				c.Add(v, (v+1)%200, 2)
+				c.Add(v, (v*31+7)%200, 3)
+			}
+			return c
+		},
+		"isolated_tail": func() *graphmat.COO[float32] {
+			// Edges among the first 100 of 640 vertices; vertex 0 is the
+			// hub, everything past 100 is isolated.
+			c := graphmat.NewCOO[float32](640)
+			for v := uint32(1); v < 100; v++ {
+				c.Add(0, v, 1)
+				c.Add(v, (v*17)%100, 2)
+			}
+			return c
+		},
+	}
+}
+
+// modeRun executes one registry algorithm under an explicit mode and returns
+// the uniform result.
+func modeRun(t *testing.T, algo string, build func() *graphmat.COO[float32], p Params) Result {
+	t.Helper()
+	spec, ok := Lookup(algo)
+	if !ok {
+		t.Fatalf("algorithm %s not registered", algo)
+	}
+	inst, err := spec.Build(build(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inst.Run(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func sameSeries(t *testing.T, what string, ref, got []float64) {
+	t.Helper()
+	if len(ref) != len(got) {
+		t.Fatalf("%s: length %d vs %d", what, len(ref), len(got))
+	}
+	for v := range ref {
+		if math.Float64bits(ref[v]) != math.Float64bits(got[v]) {
+			t.Fatalf("%s: value[%d] differs: %v (%x) vs %v (%x)",
+				what, v, ref[v], math.Float64bits(ref[v]), got[v], math.Float64bits(got[v]))
+		}
+	}
+}
+
+// TestAlgorithmsModeDifferential sweeps bfs/sssp/pagerank/ppr × goldens ×
+// sources (a connected root and — where the graph has one — an isolated
+// root, the empty-frontier-after-one-superstep case).
+func TestAlgorithmsModeDifferential(t *testing.T) {
+	algos := []struct {
+		name   string
+		params Params
+	}{
+		{"bfs", Params{Source: 0}},
+		{"sssp", Params{Source: 0}},
+		{"pagerank", Params{Iterations: 15}},
+		{"ppr", Params{Sources: []uint32{0, 3}, Iterations: 15}},
+	}
+	for name, build := range modeGoldens() {
+		for _, a := range algos {
+			t.Run(name+"/"+a.name, func(t *testing.T) {
+				pull, push, auto := a.params, a.params, a.params
+				pull.Mode = graphmat.Pull
+				push.Mode = graphmat.Push
+				auto.Mode = graphmat.Auto
+				ref := modeRun(t, a.name, build, pull)
+				for mode, res := range map[string]Result{
+					"push": modeRun(t, a.name, build, push),
+					"auto": modeRun(t, a.name, build, auto),
+				} {
+					sameSeries(t, a.name+" values ("+mode+")", ref.Values, res.Values)
+					for series := range ref.Series {
+						sameSeries(t, a.name+" series "+series+" ("+mode+")", ref.Series[series], res.Series[series])
+					}
+					if res.Stats.Iterations != ref.Stats.Iterations {
+						t.Errorf("%s (%s): iterations %d vs pull %d", a.name, mode, res.Stats.Iterations, ref.Stats.Iterations)
+					}
+					if res.Stats.EdgesProcessed != ref.Stats.EdgesProcessed {
+						t.Errorf("%s (%s): edges %d vs pull %d", a.name, mode, res.Stats.EdgesProcessed, ref.Stats.EdgesProcessed)
+					}
+					if res.Stats.MessagesSent != ref.Stats.MessagesSent {
+						t.Errorf("%s (%s): sent %d vs pull %d", a.name, mode, res.Stats.MessagesSent, ref.Stats.MessagesSent)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBFSIsolatedRootModes is the empty-frontier traversal: the source sends
+// but nothing receives, so the run converges after one superstep in every
+// mode with the root at distance 0 and everything else unreached.
+func TestBFSIsolatedRootModes(t *testing.T) {
+	build := modeGoldens()["isolated_tail"]
+	for _, mode := range []graphmat.Mode{graphmat.Pull, graphmat.Push, graphmat.Auto} {
+		res := modeRun(t, "bfs", build, Params{Source: 600, Mode: mode})
+		if res.Values[600] != 0 {
+			t.Errorf("%s: root distance %v", mode, res.Values[600])
+		}
+		for v, d := range res.Values {
+			if v != 600 && d != float64(Unreached) {
+				t.Errorf("%s: vertex %d reached (%v) from isolated root", mode, v, d)
+			}
+		}
+	}
+}
+
+// TestModeParamParsing covers the registry's global "mode" parameter.
+func TestModeParamParsing(t *testing.T) {
+	spec, _ := Lookup("bfs")
+	p, err := spec.ParseParams(map[string]any{"source": float64(3), "mode": "push"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Mode != graphmat.Push || p.Source != 3 {
+		t.Errorf("parsed %+v", p)
+	}
+	if _, err := spec.ParseParams(map[string]any{"mode": "sideways"}); err == nil {
+		t.Error("bad mode accepted")
+	}
+	if _, err := spec.ParseParams(map[string]any{"mode": 7.0}); err == nil {
+		t.Error("numeric mode accepted")
+	}
+	// Mode must not change the cache key: bit-identical results are shared.
+	a, _ := spec.ParseParams(map[string]any{"source": float64(1), "mode": "push"})
+	b, _ := spec.ParseParams(map[string]any{"source": float64(1), "mode": "pull"})
+	if a.Key() != b.Key() {
+		t.Errorf("mode leaked into cache key: %q vs %q", a.Key(), b.Key())
+	}
+}

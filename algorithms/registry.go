@@ -37,10 +37,14 @@ type Params struct {
 	// ranges and reduce in a fixed order), so Threads is a performance knob,
 	// not a semantic one.
 	Threads int
+	// Mode selects the engine's SpMV kernel (Auto, Pull or Push). Like
+	// Threads it is a performance knob: all modes produce bit-identical
+	// results — the engine's differential suite asserts it.
+	Mode graphmat.Mode
 }
 
-// Key returns a canonical cache key for the parameters. Threads is excluded:
-// it cannot change the result, only how fast it arrives.
+// Key returns a canonical cache key for the parameters. Threads and Mode are
+// excluded: neither can change the result, only how fast it arrives.
 func (p Params) Key() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "src=%d;srcs=%v;it=%d;tol=%g;r=%g", p.Source, p.Sources, p.Iterations, p.Tolerance, p.RestartProb)
@@ -48,7 +52,7 @@ func (p Params) Key() string {
 }
 
 func (p Params) config() graphmat.Config {
-	return graphmat.Config{Threads: p.Threads}
+	return graphmat.Config{Threads: p.Threads, Mode: p.Mode}
 }
 
 // Result is the uniform output of a registry run: a per-vertex value series
@@ -132,7 +136,8 @@ type Spec struct {
 
 // ParseParams validates raw key/value parameters (JSON-decoded: numbers as
 // float64, lists as []any) against the spec's declared schema. Unknown keys
-// error. "threads" is accepted for every algorithm.
+// error. "threads" and "mode" are accepted for every algorithm — both are
+// engine performance knobs that cannot change a result.
 func (s Spec) ParseParams(raw map[string]any) (Params, error) {
 	var p Params
 	for key, val := range raw {
@@ -142,6 +147,18 @@ func (s Spec) ParseParams(raw map[string]any) (Params, error) {
 				return p, fmt.Errorf("parameter threads: %w", err)
 			}
 			p.Threads = int(n)
+			continue
+		}
+		if key == "mode" {
+			name, ok := val.(string)
+			if !ok {
+				return p, fmt.Errorf("parameter mode: expected a string (auto, pull or push), got %T", val)
+			}
+			mode, err := graphmat.ParseMode(name)
+			if err != nil {
+				return p, fmt.Errorf("parameter mode: %w", err)
+			}
+			p.Mode = mode
 			continue
 		}
 		var spec *ParamSpec

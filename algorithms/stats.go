@@ -23,6 +23,8 @@ func accumulate(dst *graphmat.Stats, s graphmat.Stats) {
 	dst.Applies += s.Applies
 	dst.ActiveSum += s.ActiveSum
 	dst.ColumnsProbed += s.ColumnsProbed
+	dst.PushSupersteps += s.PushSupersteps
+	dst.PullSupersteps += s.PullSupersteps
 }
 
 // session adapts a caller's observer to a driver loop that invokes the

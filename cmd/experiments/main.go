@@ -8,10 +8,11 @@
 //	experiments -experiment fig7 -repeats 3
 //
 // Experiments: table1, fig4a, fig4b, fig4c, fig4d, fig4e, table2, table3,
-// fig5, fig6, fig7, all. Table 2/3 and Figure 6 are derived from the
-// Figure 4 measurements and run them implicitly. The extra "converge"
+// fig5, fig6, fig7, direction, all. Table 2/3 and Figure 6 are derived from
+// the Figure 4 measurements and run them implicitly. The extra "converge"
 // experiment uses the engine's per-superstep observer to report PageRank's
-// convergence trajectory instead of end-to-end timings.
+// convergence trajectory instead of end-to-end timings, and "direction"
+// measures the push/pull/auto kernel ablation in the Figure 7 style.
 package main
 
 import (
@@ -29,7 +30,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (table1, fig4a..fig4e, table2, table3, fig5, fig6, fig7, converge, all)")
+		experiment = flag.String("experiment", "all", "which experiment to run (table1, fig4a..fig4e, table2, table3, fig5, fig6, fig7, direction, converge, all)")
 		shift      = flag.Int("shift", 0, "dataset size shift: each +1 doubles stand-in sizes toward paper scale")
 		threads    = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
 		maxThreads = flag.Int("maxthreads", 0, "figure 5 sweep upper bound (0 = GOMAXPROCS)")
@@ -94,6 +95,8 @@ func run(experiment string, o bench.Options) {
 		}
 	case "fig7":
 		emit(bench.Fig7(o))
+	case "direction":
+		emit(bench.DirectionOptimization(o))
 	case "converge":
 		convergence(o)
 	case "all":
@@ -110,6 +113,7 @@ func run(experiment string, o bench.Options) {
 			emit(t)
 		}
 		emit(bench.Fig7(o))
+		emit(bench.DirectionOptimization(o))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", experiment)
 		flag.Usage()

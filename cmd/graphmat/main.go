@@ -43,6 +43,7 @@ func main() {
 		iters    = flag.Int("iters", 10, "iterations for pagerank/ppr/hits/cf")
 		top      = flag.Int("top", 5, "print the top-k vertices of the result")
 		threads  = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		modeName = flag.String("mode", "auto", "SpMV kernel: auto (per-superstep direction optimization), pull, or push")
 		jobs     = flag.Int("j", 0, "parallel ingestion workers for loading the graph (0 = GOMAXPROCS, 1 = sequential)")
 		timeout  = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 		progress = flag.Bool("progress", false, "print per-superstep progress")
@@ -72,10 +73,17 @@ func main() {
 	var obs algorithms.Observer
 	if *progress {
 		obs = func(info graphmat.IterationInfo) error {
-			fmt.Printf("  superstep %3d: %d active, %d sent, %s\n",
-				info.Iteration, info.Active, info.Sent, info.Elapsed.Round(time.Microsecond))
+			fmt.Printf("  superstep %3d [%s]: %d active, %d sent, %s\n",
+				info.Iteration, info.Mode, info.Active, info.Sent, info.Elapsed.Round(time.Microsecond))
 			return nil
 		}
+	}
+
+	// Validate the mode before paying for the graph load: a typo'd -mode on
+	// a multi-gigabyte graph should fail instantly.
+	mode, err := graphmat.ParseMode(*modeName)
+	if err != nil {
+		fatal("%v", err)
 	}
 
 	adj, err := graphmat.LoadFileOptions(*path, graphmat.LoadOptions{Parallelism: *jobs})
@@ -83,7 +91,7 @@ func main() {
 		fatal("%v", err)
 	}
 	fmt.Printf("loaded %s: %d vertices, %d edges\n", *path, adj.NRows, len(adj.Entries))
-	cfg := graphmat.Config{Threads: *threads}
+	cfg := graphmat.Config{Threads: *threads, Mode: mode}
 	start := time.Now()
 
 	name := strings.ToLower(*algo)
@@ -129,7 +137,7 @@ func main() {
 		fatal("%v", err)
 	}
 	build := time.Since(start)
-	params := algorithms.Params{Source: uint32(*source), Iterations: *iters, Threads: *threads}
+	params := algorithms.Params{Source: uint32(*source), Iterations: *iters, Threads: *threads, Mode: mode}
 	start = time.Now()
 	res, err := inst.RunContext(ctx, params, nil, obs)
 	reportStop(res.Stats, err)

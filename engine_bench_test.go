@@ -1,0 +1,80 @@
+package graphmat_test
+
+import (
+	"fmt"
+	"testing"
+
+	"graphmat"
+	"graphmat/algorithms"
+	"graphmat/internal/gen"
+)
+
+// Engine-side benchmarks: the kernel mode × worker matrix for one traversal
+// workload (BFS) and one dense iterative workload (PageRank). These are the
+// BENCH_engine.json baseline — the ingestion benchmarks (BENCH_ingest.json)
+// cover the load path; these cover the superstep loop. Dataset size follows
+// GRAPHMAT_BENCH_SHIFT like the figure benchmarks (default -3 → RMAT
+// scale 11).
+
+// engineBenchScale is the RMAT scale at the configured shift.
+func engineBenchScale() int { return 14 + benchShift() }
+
+func engineModes() []graphmat.Mode {
+	return []graphmat.Mode{graphmat.Pull, graphmat.Push, graphmat.Auto}
+}
+
+var engineWorkers = []int{1, 4, 8}
+
+func BenchmarkEngineBFS(b *testing.B) {
+	scale := engineBenchScale()
+	adj := gen.RMAT(gen.RMATOptions{Scale: scale, EdgeFactor: 16, Seed: 20150831, MaxWeight: 255})
+	g, err := algorithms.NewBFSGraph(adj, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := uint32(0)
+	var best uint32
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		if d := g.OutDegree(v); d > best {
+			best, root = d, v
+		}
+	}
+	ws := graphmat.NewWorkspace[uint32, uint32](int(g.NumVertices()), graphmat.Bitvector)
+	for _, mode := range engineModes() {
+		for _, workers := range engineWorkers {
+			b.Run(fmt.Sprintf("mode_%s/workers_%d", mode, workers), func(b *testing.B) {
+				b.SetBytes(g.NumEdges()) // edges traversed per op, for MB/s-style throughput
+				for i := 0; i < b.N; i++ {
+					if _, _, err := algorithms.BFSWithWorkspace(g, root, graphmat.Config{Threads: workers, Mode: mode}, ws); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkEnginePageRank(b *testing.B) {
+	scale := engineBenchScale()
+	adj := gen.RMAT(gen.RMATOptions{Scale: scale, EdgeFactor: 16, Seed: 20150831, MaxWeight: 0})
+	g, err := algorithms.NewPageRankGraph(adj, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws := graphmat.NewWorkspace[float64, float64](int(g.NumVertices()), graphmat.Bitvector)
+	for _, mode := range engineModes() {
+		for _, workers := range engineWorkers {
+			b.Run(fmt.Sprintf("mode_%s/workers_%d", mode, workers), func(b *testing.B) {
+				opt := algorithms.PageRankOptions{
+					MaxIterations: 10,
+					Config:        graphmat.Config{Threads: workers, Mode: mode},
+				}
+				for i := 0; i < b.N; i++ {
+					if _, _, err := algorithms.PageRankWithWorkspace(g, opt, ws); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -92,6 +92,27 @@ const (
 	Static    = core.Static
 )
 
+// Mode selects the SpMV kernel backend; see Config.Mode. All modes produce
+// bit-identical results — like Threads, Mode is a performance knob only.
+type Mode = core.Mode
+
+// Kernel modes: Auto (the default) switches between the frontier-driven push
+// SpMSpV and the column-driven pull probe per superstep by frontier density;
+// Pull and Push force one kernel.
+const (
+	Auto = core.Auto
+	Pull = core.Pull
+	Push = core.Push
+)
+
+// ParseMode resolves a kernel-mode name ("auto", "pull", "push"); the empty
+// string means Auto.
+func ParseMode(s string) (Mode, error) { return core.ParseMode(s) }
+
+// DefaultPushThreshold is the Auto density cutoff used when
+// Config.PushThreshold is zero.
+const DefaultPushThreshold = core.DefaultPushThreshold
+
 // COO is an edge-triple list with explicit dimensions, the interchange
 // format accepted by New.
 type COO[E any] = sparse.COO[E]
@@ -189,9 +210,17 @@ func RunWithWorkspace[V, E, M, R any, P Program[V, E, M, R]](g *Graph[V, E], p P
 
 // SpMV performs a single generalized sparse matrix–sparse vector
 // multiplication with the program's ProcessMessage/Reduce (the Figure 1
-// primitive), without the surrounding superstep loop.
+// primitive), without the surrounding superstep loop. It dispatches through
+// the same kernel layer as the engine: cfg.Mode selects pull, push, or a
+// per-call Auto density decision.
 func SpMV[V, E, M, R any, P Program[V, E, M, R]](g *Graph[V, E], x *Vector[M], p P, cfg Config) *Vector[R] {
 	return core.SpMV(g, x, p, cfg)
+}
+
+// SpMVContext is SpMV under a context: cancellation aborts the partition
+// loop cooperatively and the partial result is returned with ctx.Err().
+func SpMVContext[V, E, M, R any, P Program[V, E, M, R]](ctx context.Context, g *Graph[V, E], x *Vector[M], p P, cfg Config) (*Vector[R], error) {
+	return core.SpMVContext[V, E, M, R, P](ctx, g, x, p, cfg)
 }
 
 // LoadFile reads a graph file (.mtx Matrix Market, .bin binary edge list —

@@ -202,9 +202,12 @@ func runBoxed[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 				sortedRuns[c] = nil
 			}
 		}
-		sent, _, _ := stats.absorb(locals)
+		sent, _, _, _ := stats.absorb(locals)
 		var applies, nactive int64
 		if sent > 0 {
+			// The boxed (naive) path predates the kernel layer's push mode:
+			// it always pulls, whatever Config.Mode says.
+			stats.PullSupersteps++
 			y.Reset()
 			for _, parts := range [][]boxedPartition{outParts, inParts} {
 				if parts == nil {
@@ -236,7 +239,7 @@ func runBoxed[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 					}
 				})
 			})
-			_, applies, nactive = stats.absorb(locals)
+			_, applies, nactive, _ = stats.absorb(locals)
 		}
 		if r, ok := ctrl.stopped(); ok {
 			stats.Reason = r
@@ -249,6 +252,7 @@ func runBoxed[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 				Sent:       sent,
 				Applies:    applies,
 				NextActive: nactive,
+				Mode:       Pull,
 				Elapsed:    time.Since(stepStart),
 				Total:      time.Since(runStart),
 			})

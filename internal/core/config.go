@@ -1,6 +1,82 @@
 package core
 
-import "runtime"
+import (
+	"fmt"
+	"runtime"
+)
+
+// Mode selects the SpMV kernel backend a superstep runs (the
+// direction-optimization axis of GraphBLAST/Ligra: a column-driven "pull"
+// probe of every stored column versus a frontier-driven "push" SpMSpV).
+// Every mode produces bit-identical results — both kernels fold reductions
+// in ascending column order within each partition's disjoint output row
+// range — so Mode, like Threads, is purely a performance knob.
+type Mode int
+
+const (
+	// Auto (the zero value) chooses per superstep: push when the frontier's
+	// outgoing edge work is a small fraction of the structure's total edges,
+	// pull otherwise. See Config.PushThreshold.
+	Auto Mode = iota
+	// Pull always runs the column-driven kernel: probe every stored column
+	// of every partition against the message vector (Algorithm 1 as the
+	// paper wrote it). Best for dense frontiers (PageRank-style ranking).
+	Pull
+	// Push always runs the frontier-driven SpMSpV: iterate the message
+	// vector's nonzeros and look each up in the partition's column index.
+	// Best for sparse frontiers (high-diameter traversals).
+	Push
+)
+
+// String names the mode for flags, logs and JSON.
+func (m Mode) String() string {
+	switch m {
+	case Auto:
+		return "auto"
+	case Pull:
+		return "pull"
+	case Push:
+		return "push"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// MarshalJSON encodes the mode as its string name.
+func (m Mode) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + m.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes a string name back to the typed mode.
+func (m *Mode) UnmarshalJSON(b []byte) error {
+	if len(b) < 2 || b[0] != '"' || b[len(b)-1] != '"' {
+		return fmt.Errorf("core: mode must be a JSON string, got %s", b)
+	}
+	mode, err := ParseMode(string(b[1 : len(b)-1]))
+	if err != nil {
+		return err
+	}
+	*m = mode
+	return nil
+}
+
+// ParseMode resolves a mode name ("auto", "pull", "push"); the empty string
+// means Auto, matching the zero value.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "auto":
+		return Auto, nil
+	case "pull":
+		return Pull, nil
+	case "push":
+		return Push, nil
+	}
+	return Auto, fmt.Errorf("core: unknown kernel mode %q (want auto, pull or push)", s)
+}
+
+// DefaultPushThreshold is the Auto density cutoff when Config.PushThreshold
+// is zero: a superstep pushes when frontier edge work × 20 fits in the
+// structure's total edge count — Ligra's |E|/20 heuristic.
+const DefaultPushThreshold = 20
 
 // VectorKind selects the sparse-vector representation for the message
 // vector (paper §4.4.2 discusses both and measures the bitvector faster).
@@ -57,6 +133,16 @@ type Config struct {
 	Dispatch Dispatch
 	// Schedule selects dynamic or static partition assignment.
 	Schedule Schedule
+	// Mode selects the SpMV kernel backend: Auto (default) switches between
+	// the push and pull kernels per superstep by frontier density; Pull and
+	// Push force one kernel. All three produce bit-identical results. The
+	// boxed (naive) dispatch path ignores Mode and always pulls.
+	Mode Mode
+	// PushThreshold tunes Auto: a superstep pushes when the frontier's
+	// outgoing edge work × PushThreshold is at most the traversal
+	// structure's total edge count. 0 means DefaultPushThreshold (20);
+	// higher values push less often.
+	PushThreshold float64
 }
 
 func (c Config) withDefaults() Config {
@@ -80,9 +166,17 @@ type Stats struct {
 	Applies int64
 	// ActiveSum is the cumulative size of the active set over supersteps.
 	ActiveSum int64
-	// ColumnsProbed counts message-vector presence probes (Algorithm 1
-	// line 4 executions).
+	// ColumnsProbed counts presence probes: per pull superstep, one per
+	// stored column; per push superstep, one per frontier vertex per
+	// partition (the column-index lookups).
 	ColumnsProbed int64
+	// PushSupersteps counts supersteps executed with the push (SpMSpV)
+	// kernel; PullSupersteps counts supersteps executed with the pull
+	// kernel. Supersteps that sent no messages run no kernel and count in
+	// neither.
+	PushSupersteps int64
+	// PullSupersteps counts supersteps executed with the pull kernel.
+	PullSupersteps int64
 	// Reason records why the run ended (Converged, MaxIterations, Canceled,
 	// DeadlineExceeded, StoppedByObserver). Aggregated stats — sums over
 	// many runs — leave it at ReasonNone.

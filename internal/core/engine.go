@@ -34,10 +34,14 @@ type localStats struct {
 	probes  int64
 	applies int64
 	active  int64
-	_       [24]byte
+	// degSum accumulates the traversal-structure degrees of the vertices
+	// that sent a message — the frontier's edge work, the numerator of the
+	// Auto push/pull decision. Only tallied when the run is in Auto mode.
+	degSum int64
+	_      [16]byte
 }
 
-func (s *Stats) absorb(locals []localStats) (sent, applies, active int64) {
+func (s *Stats) absorb(locals []localStats) (sent, applies, active, degSum int64) {
 	for i := range locals {
 		s.MessagesSent += locals[i].sent
 		s.EdgesProcessed += locals[i].edges
@@ -46,9 +50,10 @@ func (s *Stats) absorb(locals []localStats) (sent, applies, active int64) {
 		sent += locals[i].sent
 		applies += locals[i].applies
 		active += locals[i].active
+		degSum += locals[i].degSum
 		locals[i] = localStats{}
 	}
-	return sent, applies, active
+	return sent, applies, active, degSum
 }
 
 // chunkBounds splits [0, n) into at most k contiguous chunks whose interior
@@ -139,6 +144,29 @@ func runTyped[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 		inParts = g.InPartitions()
 	}
 
+	// Auto mode needs the frontier's edge work each superstep: the degree of
+	// every sender with respect to the traversal structures in play. The sum
+	// is tallied for free during the SendMessage phase (one array load per
+	// sender); fixed modes skip the accounting entirely. The structure-side
+	// costs are fixed for the whole run.
+	var autoDegs []uint32
+	var costs KernelCosts
+	if cfg.Mode == Auto {
+		switch dir & graph.Both {
+		case graph.Out:
+			autoDegs = g.OutDegrees()
+		case graph.In:
+			autoDegs = g.InDegrees()
+		default:
+			outDegs, inDegs := g.OutDegrees(), g.InDegrees()
+			autoDegs = make([]uint32, n)
+			for v := range autoDegs {
+				autoDegs[v] = outDegs[v] + inDegs[v]
+			}
+		}
+		costs = AddParts(AddParts(costs, outParts), inParts)
+	}
+
 	x, xs, y := ws.x, ws.xs, ws.y
 
 	chunks := chunkBounds(n, cfg.Threads*4)
@@ -180,6 +208,9 @@ func runTyped[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 					if m, ok := p.SendMessage(v, props[v]); ok {
 						x.Set(v, m)
 						st.sent++
+						if autoDegs != nil {
+							st.degSum += int64(autoDegs[v])
+						}
 					}
 				})
 			})
@@ -192,6 +223,9 @@ func runTyped[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 					if m, ok := p.SendMessage(v, props[v]); ok {
 						run = append(run, sparse.Entry[M]{Idx: v, Val: m})
 						st.sent++
+						if autoDegs != nil {
+							st.degSum += int64(autoDegs[v])
+						}
 					}
 				})
 				sortedRuns[c] = run
@@ -203,27 +237,37 @@ func runTyped[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 				sortedRuns[c] = nil
 			}
 		}
-		sent, _, _ := stats.absorb(locals)
+		sent, _, _, degSum := stats.absorb(locals)
+
+		// Per-superstep direction optimization: resolve Auto from the
+		// frontier's size and edge work against the structure-side costs.
+		stepMode := costs.Choose(cfg.Mode, cfg.PushThreshold, sent, degSum)
+
 		var applies, nactive int64
 		if sent > 0 {
-			// Phase 2: generalized SpMV (Algorithm 1). Each partition owns a
-			// disjoint 64-aligned output row range, so no synchronization on y.
-			y.Reset()
-			if outParts != nil {
-				parallelFor(cfg.Threads, len(outParts), cfg.Schedule, stop, func(i, w int) {
-					if x != nil {
-						spmvBitvec(outParts[i], x, props, p, y, &locals[w])
-					} else {
-						spmvSorted(outParts[i], xs, props, p, y, &locals[w])
-					}
-				})
+			if stepMode == Push {
+				stats.PushSupersteps++
+			} else {
+				stats.PullSupersteps++
 			}
-			if inParts != nil {
-				parallelFor(cfg.Threads, len(inParts), cfg.Schedule, stop, func(i, w int) {
-					if x != nil {
-						spmvBitvec(inParts[i], x, props, p, y, &locals[w])
-					} else {
-						spmvSorted(inParts[i], xs, props, p, y, &locals[w])
+			// Phase 2: generalized SpMV (Algorithm 1) through the selected
+			// kernel. Each partition owns a disjoint 64-aligned output row
+			// range, so no synchronization on y.
+			y.Reset()
+			for _, parts := range [2][]*sparse.DCSC[E]{outParts, inParts} {
+				if parts == nil {
+					continue
+				}
+				parallelFor(cfg.Threads, len(parts), cfg.Schedule, stop, func(i, w int) {
+					switch {
+					case x != nil && stepMode == Push:
+						spmvPushBitvec(parts[i], x, props, p, y, &locals[w])
+					case x != nil:
+						spmvPullBitvec(parts[i], x, props, p, y, &locals[w])
+					case stepMode == Push:
+						spmvPushSorted(parts[i], xs, props, p, y, &locals[w])
+					default:
+						spmvPullSorted(parts[i], xs, props, p, y, &locals[w])
 					}
 				})
 			}
@@ -249,7 +293,7 @@ func runTyped[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 					}
 				})
 			})
-			_, applies, nactive = stats.absorb(locals)
+			_, applies, nactive, _ = stats.absorb(locals)
 		}
 		if r, ok := ctrl.stopped(); ok {
 			stats.Reason = r
@@ -262,6 +306,7 @@ func runTyped[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 				Sent:       sent,
 				Applies:    applies,
 				NextActive: nactive,
+				Mode:       stepMode,
 				Elapsed:    time.Since(stepStart),
 				Total:      time.Since(runStart),
 			})

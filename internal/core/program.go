@@ -5,6 +5,12 @@
 // user callbacks, partition-parallel SpMV and dynamic load balancing. Each of
 // these optimizations can be disabled individually to reproduce the Figure 7
 // ablation.
+//
+// The SpMV backend is a kernel layer (kernel.go) with two directions: the
+// paper's column-driven pull probe and a frontier-driven push SpMSpV, chosen
+// per superstep by a density threshold when Config.Mode is Auto
+// (direction optimization à la Ligra/GraphBLAST). All modes produce
+// bit-identical results.
 package core
 
 import "graphmat/internal/graph"

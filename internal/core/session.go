@@ -100,6 +100,11 @@ type IterationInfo struct {
 	// NextActive is the frontier size for the next superstep; 0 means the
 	// run converged.
 	NextActive int64 `json:"next_active"`
+	// Mode is the SpMV kernel the superstep ran (Pull or Push — Auto is
+	// resolved per superstep before the multiply). A superstep that sent no
+	// messages ran no kernel and reports the mode that would have been
+	// chosen.
+	Mode Mode `json:"mode"`
 	// Elapsed is this superstep's wall time.
 	Elapsed time.Duration `json:"elapsed"`
 	// Total is the wall time since the run (or the driving algorithm's

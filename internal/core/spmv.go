@@ -1,131 +1,68 @@
 package core
 
 import (
+	"context"
+
 	"graphmat/internal/graph"
 	"graphmat/internal/sparse"
 )
 
-// spmvBitvec is Algorithm 1 of the paper specialized to the bitvector
-// message-vector representation: traverse the nonzero columns of the
-// partition, probe the message vector's bitvector for a message from that
-// column (line 4 — "becomes faster due to use of the bitvector"), and for
-// each edge in the column compute ProcessMessage and fold into the output
-// with Reduce. The partition owns a disjoint 64-aligned output row range, so
-// writes to y need no synchronization.
-//
-// The function is generic: the compiler monomorphizes it per program type,
-// inlining the user callbacks into the inner loop — the reproduction's
-// analogue of compiling the C++ with -ipo (§4.5 item 2).
-func spmvBitvec[V, E, M, R any, P Program[V, E, M, R]](
-	part *sparse.DCSC[E],
-	x *sparse.Vector[M],
-	props []V,
-	p P,
-	y *sparse.Vector[R],
-	st *localStats,
-) {
-	jc, cp, ir, vals := part.JC, part.CP, part.IR, part.Val
-	xw := x.Mask().Words()
-	xvals := x.Values()
-	yw := y.Mask().Words()
-	yvals := y.Values()
-	_, dstFree := any(p).(DstIndependent)
-	var zeroV V
-	edges := int64(0)
-	for ci, j := range jc {
-		if xw[j>>6]&(1<<(j&63)) == 0 {
-			continue
-		}
-		m := xvals[j]
-		lo, hi := cp[ci], cp[ci+1]
-		edges += int64(hi - lo)
-		// Subslice the column so the inner loop is bounds-check free.
-		irc := ir[lo:hi]
-		vc := vals[lo:hi:hi]
-		if dstFree {
-			// The program declared ProcessMessage ignores the destination
-			// property: skip the per-edge random load of props[dst].
-			for k, dst := range irc {
-				r := p.ProcessMessage(m, vc[k], zeroV)
-				w := &yw[dst>>6]
-				bit := uint64(1) << (dst & 63)
-				if *w&bit != 0 {
-					yvals[dst] = p.Reduce(yvals[dst], r)
-				} else {
-					yvals[dst] = r
-					*w |= bit
-				}
-			}
-			continue
-		}
-		for k, dst := range irc {
-			r := p.ProcessMessage(m, vc[k], props[dst])
-			w := &yw[dst>>6]
-			bit := uint64(1) << (dst & 63)
-			if *w&bit != 0 {
-				yvals[dst] = p.Reduce(yvals[dst], r)
-			} else {
-				yvals[dst] = r
-				*w |= bit
-			}
-		}
-	}
-	st.probes += int64(len(jc))
-	st.edges += edges
-}
-
-// spmvSorted is the same kernel against the sorted-tuple message vector
-// (§4.4.2's rejected representation, retained for the Figure 7 "naive"
-// ablation step): the per-column presence probe is a binary search instead
-// of a bit test.
-func spmvSorted[V, E, M, R any, P Program[V, E, M, R]](
-	part *sparse.DCSC[E],
-	xs *sparse.SortedVector[M],
-	props []V,
-	p P,
-	y *sparse.Vector[R],
-	st *localStats,
-) {
-	jc, cp, ir, vals := part.JC, part.CP, part.IR, part.Val
-	ymask := y.Mask()
-	yvals := y.Values()
-	edges := int64(0)
-	for ci, j := range jc {
-		if !xs.Has(j) {
-			continue
-		}
-		m := xs.Get(j)
-		lo, hi := cp[ci], cp[ci+1]
-		edges += int64(hi - lo)
-		for k := lo; k < hi; k++ {
-			dst := ir[k]
-			r := p.ProcessMessage(m, vals[k], props[dst])
-			if ymask.Get(dst) {
-				yvals[dst] = p.Reduce(yvals[dst], r)
-			} else {
-				yvals[dst] = r
-				ymask.Set(dst)
-			}
-		}
-	}
-	st.probes += int64(len(jc))
-	st.edges += edges
-}
-
 // SpMV exposes one generalized multiplication y = Gᵀ ⊗ x outside the driver
 // loop: used by tests and by callers that want a single traversal step (the
 // in-degree example of Figure 1). The result vector maps destination vertex
-// to reduced value.
+// to reduced value. It is SpMVContext without a context.
 func SpMV[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], x *sparse.Vector[M], p P, cfg Config) *sparse.Vector[R] {
+	y, _ := SpMVContext[V, E, M, R, P](context.Background(), g, x, p, cfg)
+	return y
+}
+
+// SpMVContext is the single-shot generalized SpMV as a full citizen of the
+// engine configuration: it dispatches through the same kernel layer as the
+// superstep loop — cfg.Mode selects pull, push, or the per-call Auto density
+// decision; cfg.Vector == Sorted converts the frontier to the sorted-tuple
+// representation and runs the sorted kernels — and ctx cancellation aborts
+// the partition loop cooperatively through the same stop flag the engine
+// polls. A canceled call returns the partial y alongside ctx.Err().
+func SpMVContext[V, E, M, R any, P Program[V, E, M, R]](
+	ctx context.Context, g *graph.Graph[V, E], x *sparse.Vector[M], p P, cfg Config,
+) (*sparse.Vector[R], error) {
 	cfg = cfg.withDefaults()
+	ctrl, release := newController(ctx, runOptions{})
+	defer release()
+
 	y := sparse.NewVector[R](int(g.NumVertices()))
 	locals := make([]localStats, cfg.Threads)
 	parts := g.OutPartitions()
+	degs := g.OutDegrees()
 	if p.Direction()&graph.In != 0 {
 		parts = g.InPartitions()
+		degs = g.InDegrees()
 	}
-	parallelFor(cfg.Threads, len(parts), cfg.Schedule, nil, func(i, w int) {
-		spmvBitvec(parts[i], x, g.Props(), p, y, &locals[w])
+	mode := cfg.Mode
+	if mode == Auto {
+		costs := AddParts(KernelCosts{}, parts)
+		mode = costs.Choose(mode, cfg.PushThreshold, int64(x.NNZ()), frontierWork(x, degs))
+	}
+
+	var xs *sparse.SortedVector[M]
+	if cfg.Vector == Sorted {
+		xs = sparse.NewSortedVector[M](x.Len())
+		x.Iterate(func(i uint32, v M) { xs.Append(i, v) })
+	}
+	parallelFor(cfg.Threads, len(parts), cfg.Schedule, ctrl.flag(), func(i, w int) {
+		switch {
+		case xs == nil && mode == Push:
+			spmvPushBitvec(parts[i], x, g.Props(), p, y, &locals[w])
+		case xs == nil:
+			spmvPullBitvec(parts[i], x, g.Props(), p, y, &locals[w])
+		case mode == Push:
+			spmvPushSorted(parts[i], xs, g.Props(), p, y, &locals[w])
+		default:
+			spmvPullSorted(parts[i], xs, g.Props(), p, y, &locals[w])
+		}
 	})
-	return y
+	if r, ok := ctrl.stopped(); ok {
+		return y, r.err()
+	}
+	return y, nil
 }

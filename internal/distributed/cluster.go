@@ -46,6 +46,13 @@ type Stats struct {
 	BytesOnWire int64
 	// EdgesProcessed counts ProcessMessage invocations cluster-wide.
 	EdgesProcessed int64
+	// PushSupersteps and PullSupersteps count supersteps executed with each
+	// kernel of the shared core dispatch layer (direction optimization
+	// applies cluster-wide: all nodes run the same mode each superstep, as
+	// an MPI implementation would agree on it at the barrier).
+	PushSupersteps int64
+	// PullSupersteps counts supersteps executed with the pull kernel.
+	PullSupersteps int64
 }
 
 // node is one simulated machine.
@@ -63,6 +70,12 @@ type Cluster[V, E any] struct {
 	nodes   []*node[V, E]
 	bounds  []uint32
 	msgSize int64
+	// colDeg is the per-column nonzero count of the distributed Gᵀ (the
+	// vertices' out-degrees); costs carries the structure-side quantities of
+	// the per-superstep direction-optimization decision, summed over every
+	// node's partitions.
+	colDeg []uint32
+	costs  core.KernelCosts
 }
 
 // fragment is one node's outgoing messages for a superstep.
@@ -96,7 +109,10 @@ func NewCluster[V, E any](adj *sparse.COO[E], nnodes, partsPerNode int, msgBytes
 	adj.DedupKeepFirst()
 
 	bounds := sparse.PartitionRows(adj.RowCounts(), nnodes)
-	c := &Cluster[V, E]{n: n, bounds: bounds, msgSize: int64(msgBytes)}
+	c := &Cluster[V, E]{
+		n: n, bounds: bounds, msgSize: int64(msgBytes),
+		colDeg: adj.ColCounts(),
+	}
 	for i := 0; i < nnodes; i++ {
 		nd := &node[V, E]{
 			id:     i,
@@ -112,6 +128,7 @@ func NewCluster[V, E any](adj *sparse.COO[E], nnodes, partsPerNode int, msgBytes
 			hi := nd.lo + sub[p+1]
 			nd.parts = append(nd.parts, sparse.BuildDCSC(adj, lo, hi))
 		}
+		c.costs = core.AddParts(c.costs, nd.parts)
 		c.nodes = append(c.nodes, nd)
 	}
 	return c, nil
@@ -178,10 +195,22 @@ func (c *Cluster[V, E]) Prop(v uint32) V {
 }
 
 // Run executes the program for maxIterations supersteps (<= 0 means until
-// no vertex is active cluster-wide). Only Direction Out programs are
-// supported (the distributed block holds Gᵀ rows; an In-direction run would
-// ship the transpose, which this simulation does not build).
+// no vertex is active cluster-wide) with per-superstep adaptive kernel
+// dispatch (core.Auto). Only Direction Out programs are supported (the
+// distributed block holds Gᵀ rows; an In-direction run would ship the
+// transpose, which this simulation does not build).
 func Run[V, E, M, R any, P core.Program[V, E, M, R]](c *Cluster[V, E], p P, maxIterations int) (Stats, error) {
+	return RunMode[V, E, M, R, P](c, p, maxIterations, core.Auto)
+}
+
+// RunMode is Run with an explicit kernel mode: Pull and Push force one
+// kernel cluster-wide; Auto resolves per superstep from the frontier's
+// out-degree sum — computed over the gathered fragments, exactly the
+// aggregate an MPI allreduce would provide — against the matrix's total edge
+// count. Every node then runs that superstep's local SpMV through the same
+// core.MultiplyPartition dispatch the single-node engine uses, so all modes
+// produce bit-identical vertex state.
+func RunMode[V, E, M, R any, P core.Program[V, E, M, R]](c *Cluster[V, E], p P, maxIterations int, mode core.Mode) (Stats, error) {
 	if p.Direction() != graph.Out {
 		return Stats{}, fmt.Errorf("distributed: only Direction Out programs are supported")
 	}
@@ -226,11 +255,24 @@ func Run[V, E, M, R any, P core.Program[V, E, M, R]](c *Cluster[V, E], p P, maxI
 			})
 		})
 		totalSent := 0
+		var frontierEdges int64
 		for i := range frags {
 			totalSent += len(frags[i].ids)
+			if mode != core.Auto {
+				continue // forced modes never read the degree sum
+			}
+			for _, v := range frags[i].ids {
+				frontierEdges += int64(c.colDeg[v])
+			}
 		}
 		if totalSent == 0 {
 			break
+		}
+		stepMode := c.costs.Choose(mode, 0, int64(totalSent), frontierEdges)
+		if stepMode == core.Push {
+			stats.PushSupersteps++
+		} else {
+			stats.PullSupersteps++
 		}
 
 		// Phase 2: all-gather — every node assembles the global message
@@ -252,7 +294,8 @@ func Run[V, E, M, R any, P core.Program[V, E, M, R]](c *Cluster[V, E], p P, maxI
 			stats.BytesOnWire += remote * (4 + c.msgSize)
 		}
 
-		// Phase 3: local SpMV of each node's row block; Phase 4: apply.
+		// Phase 3: local SpMV of each node's row block through the shared
+		// kernel dispatch; Phase 4: apply.
 		var edges, active int64
 		var mu sync.Mutex
 		barrier(func(nd *node[V, E]) {
@@ -261,7 +304,8 @@ func Run[V, E, M, R any, P core.Program[V, E, M, R]](c *Cluster[V, E], p P, maxI
 			y.Reset()
 			var localEdges int64
 			for _, part := range nd.parts {
-				localEdges += spmvLocal(part, x, nd.props, p, y)
+				e, _ := core.MultiplyPartition(stepMode, part, x, nd.props, p, y)
+				localEdges += e
 			}
 			nd.active.Reset()
 			var localActive int64
@@ -282,30 +326,4 @@ func Run[V, E, M, R any, P core.Program[V, E, M, R]](c *Cluster[V, E], p P, maxI
 		}
 	}
 	return stats, nil
-}
-
-// spmvLocal is the node-local generalized SpMV (Algorithm 1 against the
-// node's row block).
-func spmvLocal[V, E, M, R any, P core.Program[V, E, M, R]](
-	part *sparse.DCSC[E], x *sparse.Vector[M], props []V, p P, y *sparse.Vector[R],
-) int64 {
-	var edges int64
-	for ci, j := range part.JC {
-		if !x.Has(j) {
-			continue
-		}
-		m := x.Get(j)
-		lo, hi := part.CP[ci], part.CP[ci+1]
-		edges += int64(hi - lo)
-		for k := lo; k < hi; k++ {
-			dst := part.IR[k]
-			r := p.ProcessMessage(m, part.Val[k], props[dst])
-			if y.Has(dst) {
-				y.Set(dst, p.Reduce(y.Get(dst), r))
-			} else {
-				y.Set(dst, r)
-			}
-		}
-	}
-	return edges
 }

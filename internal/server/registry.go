@@ -256,6 +256,8 @@ func (g *GraphEntry) RunContext(ctx context.Context, algo string, p algorithms.P
 	ai.engine.Applies += res.Stats.Applies
 	ai.engine.ActiveSum += res.Stats.ActiveSum
 	ai.engine.ColumnsProbed += res.Stats.ColumnsProbed
+	ai.engine.PushSupersteps += res.Stats.PushSupersteps
+	ai.engine.PullSupersteps += res.Stats.PullSupersteps
 	ai.wall += wall
 	ai.statsMu.Unlock()
 	return res, nil

@@ -56,6 +56,10 @@ type Server struct {
 
 	epMu     sync.Mutex
 	requests map[string]int64
+	// modeRuns tallies /run requests by the kernel mode they asked for
+	// (auto, pull, push) — the serving-side view of the direction-
+	// optimization knob, surfaced in GET /stats.
+	modeRuns map[string]int64
 }
 
 // New builds a server with no graphs loaded.
@@ -71,6 +75,7 @@ func New(cfg Config) *Server {
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
 		requests: make(map[string]int64),
+		modeRuns: make(map[string]int64),
 	}
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /stats", s.handleStats)
@@ -352,6 +357,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	q := r.URL.Query()
+	// mode= selects the engine's SpMV kernel for this run (auto, pull,
+	// push); it can also arrive as a body parameter — the query form wins.
+	// Mode is a performance knob: all modes are bit-identical, so it does
+	// not participate in the result-cache key.
+	if qm := q.Get("mode"); qm != "" {
+		mode, err := graphmat.ParseMode(qm)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid mode %q: want auto, pull or push", qm)
+			return
+		}
+		params.Mode = mode
+	}
 	ctx := r.Context()
 	if tms := q.Get("timeout_ms"); tms != "" {
 		n, err := strconv.ParseInt(tms, 10, 64)
@@ -363,6 +380,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(n)*time.Millisecond)
 		defer cancel()
 	}
+	// Tally after all parameter validation: rejected requests must not skew
+	// the per-mode counters.
+	s.epMu.Lock()
+	s.modeRuns[params.Mode.String()]++
+	s.epMu.Unlock()
 	if stream := q.Get("stream"); stream == "1" || stream == "true" {
 		s.streamRun(ctx, w, g, name, algo, params)
 		return
@@ -474,10 +496,14 @@ func (s *Server) streamRun(ctx context.Context, w http.ResponseWriter, g *GraphE
 
 // statsResponse is the GET /stats reply.
 type statsResponse struct {
-	UptimeSeconds float64                         `json:"uptime_seconds"`
-	Requests      map[string]int64                `json:"requests"`
-	Cache         cacheStats                      `json:"cache"`
-	Graphs        map[string]map[string]AlgoStats `json:"graphs"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Requests      map[string]int64 `json:"requests"`
+	// ModeRuns counts /run requests by requested kernel mode; the engine-
+	// side view (supersteps actually pushed vs pulled, including how Auto
+	// resolved) is in each graph's per-algorithm engine stats.
+	ModeRuns map[string]int64                `json:"mode_runs"`
+	Cache    cacheStats                      `json:"cache"`
+	Graphs   map[string]map[string]AlgoStats `json:"graphs"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -485,6 +511,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	reqs := make(map[string]int64, len(s.requests))
 	for k, v := range s.requests {
 		reqs[k] = v
+	}
+	modes := make(map[string]int64, len(s.modeRuns))
+	for k, v := range s.modeRuns {
+		modes[k] = v
 	}
 	s.epMu.Unlock()
 
@@ -497,6 +527,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Requests:      reqs,
+		ModeRuns:      modes,
 		Cache:         s.cache.stats(),
 		Graphs:        graphs,
 	})

@@ -13,15 +13,27 @@ package sparse
 //	IR  — row indices of nonzeros, ascending within each column
 //	Val — the nonzero values, parallel to IR
 //
-// The optional auxiliary index over JC described in [9] is not used, matching
-// the paper ("which we have not used"); the engine iterates JC directly and
-// probes the message vector instead.
+// The optional auxiliary index over JC described in [9] (the AUX array) IS
+// built here, unlike the paper ("which we have not used"): the pull kernel
+// iterates JC directly and never needs it, but the push (SpMSpV) kernel looks
+// individual frontier columns up in every partition, and AUX turns that probe
+// from a binary search into an effectively O(1) bucket scan.
 type DCSC[E any] struct {
 	NRows, NCols uint32
 	JC           []uint32
 	CP           []uint32
 	IR           []uint32
 	Val          []E
+
+	// Aux is the column-lookup accelerator: Aux[b] is the position in JC of
+	// the first column c with c>>AuxShift >= b. A column col therefore lives,
+	// if present, in JC[Aux[col>>AuxShift] : Aux[col>>AuxShift+1]] — a bucket
+	// whose expected occupancy is below one entry, because AuxShift is chosen
+	// so the bucket count tracks len(JC). Aux is nil only for matrices with
+	// no nonzeros.
+	Aux []uint32
+	// AuxShift is the log2 bucket width of Aux.
+	AuxShift uint32
 
 	// RowLo, RowHi record the output (row) range this structure covers when
 	// it is one partition of a 1-D row decomposition; for a whole matrix they
@@ -69,12 +81,54 @@ func BuildDCSC[E any](c *COO[E], rowLo, rowHi uint32) *DCSC[E] {
 		m.Val = append(m.Val, t.Val)
 	}
 	m.CP = append(m.CP, uint32(len(m.IR)))
+	m.buildAux()
 	return m
 }
 
-// Column returns the row indices and values of column col, or nils if the
-// column is empty. Lookup is a binary search over JC.
-func (m *DCSC[E]) Column(col uint32) ([]uint32, []E) {
+// buildAux constructs the AUX bucket index over JC. The shift is the smallest
+// one that keeps the bucket count within 2×len(JC), so the index costs at
+// most as much memory as JC itself while keeping expected bucket occupancy
+// under one column.
+func (m *DCSC[E]) buildAux() {
+	if len(m.JC) == 0 {
+		m.Aux, m.AuxShift = nil, 0
+		return
+	}
+	shift := uint32(0)
+	for uint64(m.NCols)>>shift > uint64(2*len(m.JC)) {
+		shift++
+	}
+	nb := int(uint64(m.NCols)>>shift) + 1
+	aux := make([]uint32, nb+1)
+	ci := 0
+	for b := 1; b <= nb; b++ {
+		for ci < len(m.JC) && m.JC[ci]>>shift < uint32(b) {
+			ci++
+		}
+		aux[b] = uint32(ci)
+	}
+	m.Aux, m.AuxShift = aux, shift
+}
+
+// FindColumn returns the position of col in JC, or ok=false if the column is
+// empty. With the AUX index the lookup scans one bucket (expected O(1));
+// without it (a hand-assembled DCSC) it falls back to binary search.
+func (m *DCSC[E]) FindColumn(col uint32) (int, bool) {
+	if m.Aux != nil {
+		b := col >> m.AuxShift
+		if int(b)+1 >= len(m.Aux) {
+			return 0, false
+		}
+		for ci, hi := int(m.Aux[b]), int(m.Aux[b+1]); ci < hi; ci++ {
+			switch c := m.JC[ci]; {
+			case c == col:
+				return ci, true
+			case c > col:
+				return 0, false
+			}
+		}
+		return 0, false
+	}
 	lo, hi := 0, len(m.JC)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -85,9 +139,19 @@ func (m *DCSC[E]) Column(col uint32) ([]uint32, []E) {
 		}
 	}
 	if lo == len(m.JC) || m.JC[lo] != col {
+		return 0, false
+	}
+	return lo, true
+}
+
+// Column returns the row indices and values of column col, or nils if the
+// column is empty.
+func (m *DCSC[E]) Column(col uint32) ([]uint32, []E) {
+	ci, ok := m.FindColumn(col)
+	if !ok {
 		return nil, nil
 	}
-	s, e := m.CP[lo], m.CP[lo+1]
+	s, e := m.CP[ci], m.CP[ci+1]
 	return m.IR[s:e], m.Val[s:e]
 }
 

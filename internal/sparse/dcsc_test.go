@@ -191,3 +191,57 @@ func TestPartitionRowsDegenerate(t *testing.T) {
 		t.Errorf("one partition: %v", b)
 	}
 }
+
+// TestQuickAuxIndex cross-checks the AUX bucket lookup against a plain binary
+// search over JC on hypersparse random matrices, including columns that are
+// absent, and asserts the index stays within its memory budget.
+func TestQuickAuxIndex(t *testing.T) {
+	f := func(seed int64) bool {
+		c := randCOO(seed, 64, 1<<14, 300) // hypersparse: few columns occupied
+		m := BuildDCSC(c, 0, 64)
+		if m.Aux == nil {
+			return len(m.JC) == 0
+		}
+		if len(m.Aux) > 2*len(m.JC)+3 {
+			t.Fatalf("aux over budget: %d buckets for %d columns", len(m.Aux), len(m.JC))
+		}
+		bare := &DCSC[int]{NRows: m.NRows, NCols: m.NCols, JC: m.JC, CP: m.CP, IR: m.IR, Val: m.Val}
+		for col := uint32(0); col < m.NCols; col += 7 {
+			gi, gok := m.FindColumn(col)
+			wi, wok := bare.FindColumn(col) // binary-search fallback
+			if gi != wi || gok != wok {
+				t.Fatalf("FindColumn(%d) aux=(%d,%v) search=(%d,%v)", col, gi, gok, wi, wok)
+			}
+		}
+		for _, col := range m.JC {
+			if _, ok := m.FindColumn(col); !ok {
+				t.Fatalf("present column %d not found", col)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAuxIndexEmptyAndDense(t *testing.T) {
+	empty := BuildDCSC(NewCOO[int](16, 16), 0, 16)
+	if _, ok := empty.FindColumn(3); ok {
+		t.Error("empty matrix claims a column")
+	}
+	dense := NewCOO[int](8, 8)
+	for r := uint32(0); r < 8; r++ {
+		for col := uint32(0); col < 8; col++ {
+			dense.Add(r, col, int(r*8+col))
+		}
+	}
+	dense.SortColMajor()
+	m := BuildDCSC(dense, 0, 8)
+	for col := uint32(0); col < 8; col++ {
+		ci, ok := m.FindColumn(col)
+		if !ok || m.JC[ci] != col {
+			t.Errorf("dense FindColumn(%d) = (%d, %v)", col, ci, ok)
+		}
+	}
+}

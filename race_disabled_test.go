@@ -1,0 +1,5 @@
+//go:build !race
+
+package graphmat_test
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package graphmat_test
+
+// raceEnabled lets heavyweight tests scale down under the race detector,
+// whose memory and time multipliers make paper-scale runs impractical.
+const raceEnabled = true
