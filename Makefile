@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt lint staticcheck test race bench bench-engine fuzz ci
+.PHONY: all build fmt lint staticcheck test race bench bench-engine bench-store fuzz ci
 
 all: build
 
@@ -32,8 +32,11 @@ staticcheck:
 test:
 	$(GO) test ./...
 
+# internal/graph carries the versioned store (snapshot isolation under
+# concurrent updates + compaction); algorithms carries the store-backed
+# registry instances. Both matter under -race.
 race:
-	$(GO) test -race ./internal/core/... ./internal/sparse/... ./internal/distributed/... ./internal/server/... ./internal/graph/...
+	$(GO) test -race ./internal/core/... ./internal/sparse/... ./internal/distributed/... ./internal/server/... ./internal/graph/... ./algorithms/...
 
 # Fuzz smoke over the graph readers: 10s per target (go test takes one
 # -fuzz pattern at a time). The targets also assert parallel parse ≡
@@ -53,5 +56,10 @@ bench:
 # bench smoke.
 bench-engine:
 	$(GO) test -bench='^BenchmarkEngine' -benchtime=1s -run='^$$' .
+
+# The versioned-store baseline: 1% update-batch application and overlay
+# compaction, behind BENCH_store.json. Real measurement (1s per case).
+bench-store:
+	$(GO) test -bench='^(BenchmarkApplyEdges|BenchmarkCompaction)' -benchtime=1s -run='^$$' .
 
 ci: build lint test race fuzz bench

@@ -51,6 +51,16 @@ func NewBFSGraph(adj *graphmat.COO[float32], partitions int) (*graphmat.Graph[ui
 	return graphmat.New[uint32](adj, graphmat.Options{Partitions: partitions})
 }
 
+// NewBFSStore is NewBFSGraph as a versioned store: the same preprocessing
+// and epoch-0 graph, plus live edge updates via ApplyEdges.
+func NewBFSStore(adj *graphmat.COO[float32], partitions int) (*graphmat.Store[uint32, float32], error) {
+	adj.RemoveSelfLoops()
+	adj.SortRowMajor()
+	adj.DedupKeepFirst()
+	adj.Symmetrize()
+	return graphmat.NewStore[uint32](adj, graphmat.Options{Partitions: partitions})
+}
+
 // BFS computes hop distances from root on a graph built by NewBFSGraph.
 // Unreachable vertices report Unreached.
 func BFS(g *graphmat.Graph[uint32, float32], root uint32, cfg graphmat.Config) ([]uint32, graphmat.Stats) {

@@ -49,6 +49,16 @@ func NewCCGraph(adj *graphmat.COO[float32], partitions int) (*graphmat.Graph[uin
 	return graphmat.New[uint32](adj, graphmat.Options{Partitions: partitions})
 }
 
+// NewCCStore is NewCCGraph as a versioned store: the same preprocessing and
+// epoch-0 graph, plus live edge updates via ApplyEdges.
+func NewCCStore(adj *graphmat.COO[float32], partitions int) (*graphmat.Store[uint32, float32], error) {
+	adj.RemoveSelfLoops()
+	adj.SortRowMajor()
+	adj.DedupKeepFirst()
+	adj.Symmetrize()
+	return graphmat.NewStore[uint32](adj, graphmat.Options{Partitions: partitions})
+}
+
 // ConnectedComponents labels every vertex with the smallest vertex id in its
 // component.
 func ConnectedComponents(g *graphmat.Graph[uint32, float32], cfg graphmat.Config) ([]uint32, graphmat.Stats) {

@@ -62,6 +62,14 @@ func NewHITSGraph(adj *graphmat.COO[float32], partitions int) (*graphmat.Graph[H
 	return graphmat.New[HITSVertex](adj, graphmat.Options{Partitions: partitions, Directions: graphmat.Both})
 }
 
+// NewHITSStore is NewHITSGraph as a versioned store: the same preprocessing
+// and epoch-0 graph (both directions materialized), plus live edge updates
+// via ApplyEdges.
+func NewHITSStore(adj *graphmat.COO[float32], partitions int) (*graphmat.Store[HITSVertex, float32], error) {
+	adj.RemoveSelfLoops()
+	return graphmat.NewStore[HITSVertex](adj, graphmat.Options{Partitions: partitions, Directions: graphmat.Both})
+}
+
 // HITS computes hub and authority scores with iterations of the two
 // half-steps, L2-normalizing after each (the standard formulation). Returns
 // the final scores indexed by vertex.

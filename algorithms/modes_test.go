@@ -90,6 +90,9 @@ func TestAlgorithmsModeDifferential(t *testing.T) {
 		{"sssp", Params{Source: 0}},
 		{"pagerank", Params{Iterations: 15}},
 		{"ppr", Params{Sources: []uint32{0, 3}, Iterations: 15}},
+		{"components", Params{}},
+		{"triangles", Params{}},
+		{"hits", Params{Iterations: 12}},
 	}
 	for name, build := range modeGoldens() {
 		for _, a := range algos {
@@ -106,6 +109,9 @@ func TestAlgorithmsModeDifferential(t *testing.T) {
 					sameSeries(t, a.name+" values ("+mode+")", ref.Values, res.Values)
 					for series := range ref.Series {
 						sameSeries(t, a.name+" series "+series+" ("+mode+")", ref.Series[series], res.Series[series])
+					}
+					if (ref.Count == nil) != (res.Count == nil) || (ref.Count != nil && *res.Count != *ref.Count) {
+						t.Errorf("%s (%s): count %v vs pull %v", a.name, mode, res.Count, ref.Count)
 					}
 					if res.Stats.Iterations != ref.Stats.Iterations {
 						t.Errorf("%s (%s): iterations %d vs pull %d", a.name, mode, res.Stats.Iterations, ref.Stats.Iterations)

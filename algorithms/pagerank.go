@@ -85,6 +85,13 @@ func NewPageRankGraph(adj *graphmat.COO[float32], partitions int) (*graphmat.Gra
 	return graphmat.New[PRVertex](adj, graphmat.Options{Partitions: partitions})
 }
 
+// NewPageRankStore is NewPageRankGraph as a versioned store: the same
+// preprocessing and epoch-0 graph, plus live edge updates via ApplyEdges.
+func NewPageRankStore(adj *graphmat.COO[float32], partitions int) (*graphmat.Store[PRVertex, float32], error) {
+	adj.RemoveSelfLoops()
+	return graphmat.NewStore[PRVertex](adj, graphmat.Options{Partitions: partitions})
+}
+
 // PageRank runs PageRank on a graph built by NewPageRankGraph, returning the
 // final rank per vertex. Vertex state is (re)initialized, so the same graph
 // can be reused across runs.

@@ -130,3 +130,11 @@ func NewPersonalizedPageRankGraph(adj *graphmat.COO[float32], partitions int) (*
 	adj.RemoveSelfLoops()
 	return graphmat.New[PPRVertex](adj, graphmat.Options{Partitions: partitions})
 }
+
+// NewPersonalizedPageRankStore is NewPersonalizedPageRankGraph as a
+// versioned store: the same preprocessing and epoch-0 graph, plus live edge
+// updates via ApplyEdges.
+func NewPersonalizedPageRankStore(adj *graphmat.COO[float32], partitions int) (*graphmat.Store[PPRVertex, float32], error) {
+	adj.RemoveSelfLoops()
+	return graphmat.NewStore[PPRVertex](adj, graphmat.Options{Partitions: partitions})
+}

@@ -57,12 +57,18 @@ func (p Params) config() graphmat.Config {
 
 // Result is the uniform output of a registry run: a per-vertex value series
 // (rank, distance, component label), optional named extra series (HITS hub
-// and authority), an optional scalar (triangle count), and the engine stats.
+// and authority), an optional scalar (triangle count), the engine stats, and
+// the property-graph epoch the run was pinned to.
 type Result struct {
 	Values []float64            `json:"values,omitempty"`
 	Series map[string][]float64 `json:"series,omitempty"`
 	Count  *int64               `json:"count,omitempty"`
 	Stats  graphmat.Stats       `json:"stats"`
+	// Epoch is the snapshot version the run executed against: 0 for the
+	// as-built graph, +1 per update batch applied to the instance before the
+	// run started. A run in flight keeps its epoch whatever updates land
+	// meanwhile.
+	Epoch uint64 `json:"epoch"`
 }
 
 // ParamKind is the type of one declared parameter.
@@ -98,9 +104,12 @@ type ParamSpec struct {
 }
 
 // Instance is an algorithm bound to a built property graph, ready to run
-// queries. Run mutates the graph's vertex state, so it is NOT safe for
-// concurrent use on one Instance; callers serialize (the server holds a
-// per-instance lock).
+// queries. The property graph is versioned: ApplyUpdates publishes a new
+// epoch, runs pin the epoch current when they start, and a run in flight is
+// never disturbed by updates landing under it. Run mutates the pinned
+// snapshot's vertex state, so it is NOT safe for concurrent use on one
+// Instance; callers serialize (the server holds a per-instance lock).
+// ApplyUpdates itself may race freely with runs — that is the point.
 type Instance interface {
 	// Run executes the algorithm. scratch, if non-nil, must be a value
 	// returned by NewScratch on an instance over the same graph; nil
@@ -118,8 +127,19 @@ type Instance interface {
 	NewScratch() any
 	// NumVertices reports the built property graph's vertex count.
 	NumVertices() uint32
-	// NumEdges reports the built property graph's edge count.
+	// NumEdges reports the current snapshot's property edge count.
 	NumEdges() int64
+	// ApplyUpdates applies a batch of RAW edge updates, translated through
+	// the algorithm's preprocessing (self-loop removal, symmetrization,
+	// upper-triangle restriction), and publishes a new snapshot epoch.
+	// lookup must reflect the raw edge set AFTER the batch; algorithms whose
+	// preprocessing keeps edges directed ignore it and accept nil.
+	ApplyUpdates(batch []EdgeUpdate, lookup EdgeLookup) (UpdateResult, error)
+	// Epoch reports the property graph's current snapshot epoch.
+	Epoch() uint64
+	// StoreStats exposes the versioned store's counters (overlay size,
+	// compactions, pinned snapshots).
+	StoreStats() graphmat.StoreStats
 }
 
 // Spec is one registry entry.
@@ -298,11 +318,11 @@ func init() {
 		Description: "PageRank over out-edges (paper equation 1)",
 		Params:      []ParamSpec{paramIters, paramTolerance, paramRestart},
 		Build: func(adj *graphmat.COO[float32], partitions int) (Instance, error) {
-			g, err := NewPageRankGraph(adj, partitions)
+			st, err := NewPageRankStore(adj, partitions)
 			if err != nil {
 				return nil, err
 			}
-			return &pagerankInstance{g: g}, nil
+			return &pagerankInstance{liveGraph[PRVertex]{store: st, kind: updDirected}}, nil
 		},
 	})
 	Register(Spec{
@@ -310,11 +330,11 @@ func init() {
 		Description: "breadth-first hop distances on the symmetrized graph",
 		Params:      []ParamSpec{paramSource},
 		Build: func(adj *graphmat.COO[float32], partitions int) (Instance, error) {
-			g, err := NewBFSGraph(adj, partitions)
+			st, err := NewBFSStore(adj, partitions)
 			if err != nil {
 				return nil, err
 			}
-			return &bfsInstance{g: g}, nil
+			return &bfsInstance{liveGraph[uint32]{store: st, kind: updSymmetric}}, nil
 		},
 	})
 	Register(Spec{
@@ -322,11 +342,11 @@ func init() {
 		Description: "single-source shortest paths (frontier Bellman-Ford)",
 		Params:      []ParamSpec{paramSource},
 		Build: func(adj *graphmat.COO[float32], partitions int) (Instance, error) {
-			g, err := NewSSSPGraph(adj, partitions)
+			st, err := NewSSSPStore(adj, partitions)
 			if err != nil {
 				return nil, err
 			}
-			return &ssspInstance{g: g}, nil
+			return &ssspInstance{liveGraph[float32]{store: st, kind: updDirected}}, nil
 		},
 	})
 	Register(Spec{
@@ -334,11 +354,11 @@ func init() {
 		Description: "connected components by min-label propagation",
 		Params:      nil,
 		Build: func(adj *graphmat.COO[float32], partitions int) (Instance, error) {
-			g, err := NewCCGraph(adj, partitions)
+			st, err := NewCCStore(adj, partitions)
 			if err != nil {
 				return nil, err
 			}
-			return &componentsInstance{g: g}, nil
+			return &componentsInstance{liveGraph[uint32]{store: st, kind: updSymmetric}}, nil
 		},
 	})
 	Register(Spec{
@@ -346,11 +366,11 @@ func init() {
 		Description: "personalized PageRank toward a source set",
 		Params:      []ParamSpec{paramSource, paramSources, paramIters, paramTolerance, paramRestart},
 		Build: func(adj *graphmat.COO[float32], partitions int) (Instance, error) {
-			g, err := NewPersonalizedPageRankGraph(adj, partitions)
+			st, err := NewPersonalizedPageRankStore(adj, partitions)
 			if err != nil {
 				return nil, err
 			}
-			return &pprInstance{g: g}, nil
+			return &pprInstance{liveGraph[PPRVertex]{store: st, kind: updDirected}}, nil
 		},
 	})
 	Register(Spec{
@@ -358,11 +378,11 @@ func init() {
 		Description: "triangle count via the two-phase neighbor-intersection pipeline",
 		Params:      nil,
 		Build: func(adj *graphmat.COO[float32], partitions int) (Instance, error) {
-			g, err := NewTriangleGraph(adj, partitions)
+			st, err := NewTriangleStore(adj, partitions)
 			if err != nil {
 				return nil, err
 			}
-			return &trianglesInstance{g: g}, nil
+			return &trianglesInstance{liveGraph[TCVertex]{store: st, kind: updUpperTriangle}}, nil
 		},
 	})
 	Register(Spec{
@@ -370,11 +390,11 @@ func init() {
 		Description: "HITS hub and authority scores (L2-normalized half-steps)",
 		Params:      []ParamSpec{paramIters},
 		Build: func(adj *graphmat.COO[float32], partitions int) (Instance, error) {
-			g, err := NewHITSGraph(adj, partitions)
+			st, err := NewHITSStore(adj, partitions)
 			if err != nil {
 				return nil, err
 			}
-			return &hitsInstance{g: g}, nil
+			return &hitsInstance{liveGraph[HITSVertex]{store: st, kind: updDirected}}, nil
 		},
 	})
 }
@@ -401,13 +421,11 @@ func typedScratch[T any](scratch any, fresh func() any) (T, error) {
 }
 
 type pagerankInstance struct {
-	g *graphmat.Graph[PRVertex, float32]
+	liveGraph[PRVertex]
 }
 
-func (i *pagerankInstance) NumVertices() uint32 { return i.g.NumVertices() }
-func (i *pagerankInstance) NumEdges() int64     { return i.g.NumEdges() }
 func (i *pagerankInstance) NewScratch() any {
-	return graphmat.NewWorkspace[float64, float64](int(i.g.NumVertices()), graphmat.Bitvector)
+	return graphmat.NewWorkspace[float64, float64](int(i.NumVertices()), graphmat.Bitvector)
 }
 func (i *pagerankInstance) Run(p Params, scratch any) (Result, error) {
 	return i.RunContext(context.Background(), p, scratch, nil)
@@ -417,71 +435,71 @@ func (i *pagerankInstance) RunContext(ctx context.Context, p Params, scratch any
 	if err != nil {
 		return Result{}, err
 	}
+	snap := i.store.Acquire()
+	defer snap.Release()
 	opt := PageRankOptions{MaxIterations: p.Iterations, Tolerance: p.Tolerance, RestartProb: p.RestartProb, Config: p.config()}
-	ranks, stats, err := PageRankContext(ctx, i.g, opt, ws, obs)
-	return Result{Values: ranks, Stats: stats}, err
+	ranks, stats, err := PageRankContext(ctx, snap.Graph(), opt, ws, obs)
+	return Result{Values: ranks, Stats: stats, Epoch: snap.Epoch()}, err
 }
 
 type bfsInstance struct {
-	g *graphmat.Graph[uint32, float32]
+	liveGraph[uint32]
 }
 
-func (i *bfsInstance) NumVertices() uint32 { return i.g.NumVertices() }
-func (i *bfsInstance) NumEdges() int64     { return i.g.NumEdges() }
 func (i *bfsInstance) NewScratch() any {
-	return graphmat.NewWorkspace[uint32, uint32](int(i.g.NumVertices()), graphmat.Bitvector)
+	return graphmat.NewWorkspace[uint32, uint32](int(i.NumVertices()), graphmat.Bitvector)
 }
 func (i *bfsInstance) Run(p Params, scratch any) (Result, error) {
 	return i.RunContext(context.Background(), p, scratch, nil)
 }
 func (i *bfsInstance) RunContext(ctx context.Context, p Params, scratch any, obs Observer) (Result, error) {
-	if err := checkSource(p.Source, i.g.NumVertices(), "source"); err != nil {
+	if err := checkSource(p.Source, i.NumVertices(), "source"); err != nil {
 		return Result{}, err
 	}
 	ws, err := typedScratch[*graphmat.Workspace[uint32, uint32]](scratch, i.NewScratch)
 	if err != nil {
 		return Result{}, err
 	}
-	dist, stats, err := BFSContext(ctx, i.g, p.Source, p.config(), ws, obs)
-	return Result{Values: uintValues(dist), Stats: stats}, err
+	snap := i.store.Acquire()
+	defer snap.Release()
+	dist, stats, err := BFSContext(ctx, snap.Graph(), p.Source, p.config(), ws, obs)
+	return Result{Values: uintValues(dist), Stats: stats, Epoch: snap.Epoch()}, err
 }
 
 type ssspInstance struct {
-	g *graphmat.Graph[float32, float32]
+	liveGraph[float32]
 }
 
-func (i *ssspInstance) NumVertices() uint32 { return i.g.NumVertices() }
-func (i *ssspInstance) NumEdges() int64     { return i.g.NumEdges() }
 func (i *ssspInstance) NewScratch() any {
-	return graphmat.NewWorkspace[float32, float32](int(i.g.NumVertices()), graphmat.Bitvector)
+	return graphmat.NewWorkspace[float32, float32](int(i.NumVertices()), graphmat.Bitvector)
 }
 func (i *ssspInstance) Run(p Params, scratch any) (Result, error) {
 	return i.RunContext(context.Background(), p, scratch, nil)
 }
 func (i *ssspInstance) RunContext(ctx context.Context, p Params, scratch any, obs Observer) (Result, error) {
-	if err := checkSource(p.Source, i.g.NumVertices(), "source"); err != nil {
+	if err := checkSource(p.Source, i.NumVertices(), "source"); err != nil {
 		return Result{}, err
 	}
 	ws, err := typedScratch[*graphmat.Workspace[float32, float32]](scratch, i.NewScratch)
 	if err != nil {
 		return Result{}, err
 	}
-	dist, stats, err := SSSPContext(ctx, i.g, p.Source, p.config(), ws, obs)
+	snap := i.store.Acquire()
+	defer snap.Release()
+	dist, stats, err := SSSPContext(ctx, snap.Graph(), p.Source, p.config(), ws, obs)
 	values := make([]float64, len(dist))
 	for v, d := range dist {
 		values[v] = float64(d)
 	}
-	return Result{Values: values, Stats: stats}, err
+	return Result{Values: values, Stats: stats, Epoch: snap.Epoch()}, err
 }
 
 type componentsInstance struct {
-	g *graphmat.Graph[uint32, float32]
+	liveGraph[uint32]
 }
 
-func (i *componentsInstance) NumVertices() uint32 { return i.g.NumVertices() }
-func (i *componentsInstance) NumEdges() int64     { return i.g.NumEdges() }
 func (i *componentsInstance) NewScratch() any {
-	return graphmat.NewWorkspace[uint32, uint32](int(i.g.NumVertices()), graphmat.Bitvector)
+	return graphmat.NewWorkspace[uint32, uint32](int(i.NumVertices()), graphmat.Bitvector)
 }
 func (i *componentsInstance) Run(p Params, scratch any) (Result, error) {
 	return i.RunContext(context.Background(), p, scratch, nil)
@@ -491,18 +509,18 @@ func (i *componentsInstance) RunContext(ctx context.Context, p Params, scratch a
 	if err != nil {
 		return Result{}, err
 	}
-	labels, stats, err := ConnectedComponentsContext(ctx, i.g, p.config(), ws, obs)
-	return Result{Values: uintValues(labels), Stats: stats}, err
+	snap := i.store.Acquire()
+	defer snap.Release()
+	labels, stats, err := ConnectedComponentsContext(ctx, snap.Graph(), p.config(), ws, obs)
+	return Result{Values: uintValues(labels), Stats: stats, Epoch: snap.Epoch()}, err
 }
 
 type pprInstance struct {
-	g *graphmat.Graph[PPRVertex, float32]
+	liveGraph[PPRVertex]
 }
 
-func (i *pprInstance) NumVertices() uint32 { return i.g.NumVertices() }
-func (i *pprInstance) NumEdges() int64     { return i.g.NumEdges() }
 func (i *pprInstance) NewScratch() any {
-	return graphmat.NewWorkspace[float64, float64](int(i.g.NumVertices()), graphmat.Bitvector)
+	return graphmat.NewWorkspace[float64, float64](int(i.NumVertices()), graphmat.Bitvector)
 }
 func (i *pprInstance) Run(p Params, scratch any) (Result, error) {
 	return i.RunContext(context.Background(), p, scratch, nil)
@@ -513,7 +531,7 @@ func (i *pprInstance) RunContext(ctx context.Context, p Params, scratch any, obs
 		sources = []uint32{p.Source}
 	}
 	for _, s := range sources {
-		if err := checkSource(s, i.g.NumVertices(), "personalization"); err != nil {
+		if err := checkSource(s, i.NumVertices(), "personalization"); err != nil {
 			return Result{}, err
 		}
 	}
@@ -521,19 +539,19 @@ func (i *pprInstance) RunContext(ctx context.Context, p Params, scratch any, obs
 	if err != nil {
 		return Result{}, err
 	}
+	snap := i.store.Acquire()
+	defer snap.Release()
 	opt := PageRankOptions{MaxIterations: p.Iterations, Tolerance: p.Tolerance, RestartProb: p.RestartProb, Config: p.config()}
-	ranks, stats, err := PersonalizedPageRankContext(ctx, i.g, sources, opt, ws, obs)
-	return Result{Values: ranks, Stats: stats}, err
+	ranks, stats, err := PersonalizedPageRankContext(ctx, snap.Graph(), sources, opt, ws, obs)
+	return Result{Values: ranks, Stats: stats, Epoch: snap.Epoch()}, err
 }
 
 type trianglesInstance struct {
-	g *graphmat.Graph[TCVertex, float32]
+	liveGraph[TCVertex]
 }
 
-func (i *trianglesInstance) NumVertices() uint32 { return i.g.NumVertices() }
-func (i *trianglesInstance) NumEdges() int64     { return i.g.NumEdges() }
 func (i *trianglesInstance) NewScratch() any {
-	return NewTriangleScratch(int(i.g.NumVertices()), graphmat.Bitvector)
+	return NewTriangleScratch(int(i.NumVertices()), graphmat.Bitvector)
 }
 func (i *trianglesInstance) Run(p Params, scratch any) (Result, error) {
 	return i.RunContext(context.Background(), p, scratch, nil)
@@ -543,18 +561,18 @@ func (i *trianglesInstance) RunContext(ctx context.Context, p Params, scratch an
 	if err != nil {
 		return Result{}, err
 	}
-	count, stats, err := TriangleCountContext(ctx, i.g, p.config(), sc, obs)
-	return Result{Count: &count, Stats: stats}, err
+	snap := i.store.Acquire()
+	defer snap.Release()
+	count, stats, err := TriangleCountContext(ctx, snap.Graph(), p.config(), sc, obs)
+	return Result{Count: &count, Stats: stats, Epoch: snap.Epoch()}, err
 }
 
 type hitsInstance struct {
-	g *graphmat.Graph[HITSVertex, float32]
+	liveGraph[HITSVertex]
 }
 
-func (i *hitsInstance) NumVertices() uint32 { return i.g.NumVertices() }
-func (i *hitsInstance) NumEdges() int64     { return i.g.NumEdges() }
 func (i *hitsInstance) NewScratch() any {
-	return graphmat.NewWorkspace[float64, float64](int(i.g.NumVertices()), graphmat.Bitvector)
+	return graphmat.NewWorkspace[float64, float64](int(i.NumVertices()), graphmat.Bitvector)
 }
 func (i *hitsInstance) Run(p Params, scratch any) (Result, error) {
 	return i.RunContext(context.Background(), p, scratch, nil)
@@ -564,7 +582,9 @@ func (i *hitsInstance) RunContext(ctx context.Context, p Params, scratch any, ob
 	if err != nil {
 		return Result{}, err
 	}
-	scores, stats, err := HITSContext(ctx, i.g, HITSOptions{Iterations: p.Iterations, Config: p.config()}, ws, obs)
+	snap := i.store.Acquire()
+	defer snap.Release()
+	scores, stats, err := HITSContext(ctx, snap.Graph(), HITSOptions{Iterations: p.Iterations, Config: p.config()}, ws, obs)
 	hub := make([]float64, len(scores))
 	auth := make([]float64, len(scores))
 	for v, s := range scores {
@@ -573,7 +593,7 @@ func (i *hitsInstance) RunContext(ctx context.Context, p Params, scratch any, ob
 	}
 	// A stopped run still carries the scores as of the stop, matching the
 	// other algorithms' partial-result contract.
-	return Result{Series: map[string][]float64{"hub": hub, "auth": auth}, Stats: stats}, err
+	return Result{Series: map[string][]float64{"hub": hub, "auth": auth}, Stats: stats, Epoch: snap.Epoch()}, err
 }
 
 // uintValues widens a uint32 result series to the registry's float64 result

@@ -51,6 +51,13 @@ func NewSSSPGraph(adj *graphmat.COO[float32], partitions int) (*graphmat.Graph[f
 	return graphmat.New[float32](adj, graphmat.Options{Partitions: partitions})
 }
 
+// NewSSSPStore is NewSSSPGraph as a versioned store: the same preprocessing
+// and epoch-0 graph, plus live edge updates via ApplyEdges.
+func NewSSSPStore(adj *graphmat.COO[float32], partitions int) (*graphmat.Store[float32, float32], error) {
+	adj.RemoveSelfLoops()
+	return graphmat.NewStore[float32](adj, graphmat.Options{Partitions: partitions})
+}
+
 // SSSP computes shortest-path distances from src on a graph built by
 // NewSSSPGraph. Unreachable vertices report InfDist.
 func SSSP(g *graphmat.Graph[float32, float32], src uint32, cfg graphmat.Config) ([]float32, graphmat.Stats) {

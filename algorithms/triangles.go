@@ -93,6 +93,17 @@ func NewTriangleGraph(adj *graphmat.COO[float32], partitions int) (*graphmat.Gra
 	return graphmat.New[TCVertex](adj, graphmat.Options{Partitions: partitions})
 }
 
+// NewTriangleStore is NewTriangleGraph as a versioned store: the same
+// preprocessing and epoch-0 graph, plus live edge updates via ApplyEdges.
+func NewTriangleStore(adj *graphmat.COO[float32], partitions int) (*graphmat.Store[TCVertex, float32], error) {
+	adj.RemoveSelfLoops()
+	adj.SortRowMajor()
+	adj.DedupKeepFirst()
+	adj.Symmetrize()
+	adj.UpperTriangle()
+	return graphmat.NewStore[TCVertex](adj, graphmat.Options{Partitions: partitions})
+}
+
 // TriangleCount runs the two-phase vertex-program pipeline and returns the
 // number of triangles. Vertex state is reinitialized, so the graph is
 // reusable across runs.

@@ -8,6 +8,11 @@
 //	graphgen -kind rmat -scale 15 -params triangle -format bin -o tc.bin
 //	graphgen -kind bipartite -users 480189 -items 17770 -ratings 99072112 -o nf.mtx
 //	graphgen -kind grid -width 1000 -height 500 -maxweight 10 -o road.mtx
+//	graphgen -kind rmat -scale 18 -o g.mtx -updates 40000 -updates-del 0.3
+//
+// -updates additionally emits an NDJSON edge-update stream (deletes drawn
+// from the generated edges, inserts fresh, plus a small adversarial slice)
+// for update benchmarks, live-update demos and fuzz corpora.
 package main
 
 import (
@@ -40,6 +45,11 @@ func main() {
 
 		width  = flag.Uint("width", 100, "grid: width")
 		height = flag.Uint("height", 100, "grid: height")
+
+		updates     = flag.Int("updates", 0, "also emit an edge-update stream of this many insert/delete records against the generated graph")
+		updatesOut  = flag.String("updates-out", "", "update-stream output path (NDJSON; default: <o>.updates)")
+		updatesDel  = flag.Float64("updates-del", 0.3, "fraction of updates that delete existing edges")
+		updatesSeed = flag.Uint64("updates-seed", 0, "update-stream seed (0 = derive from -seed)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -91,6 +101,40 @@ func main() {
 		fatal("%v", err)
 	}
 	fmt.Printf("wrote %s: %d vertices, %d edges\n", *out, coo.NRows, len(coo.Entries))
+
+	if *updates > 0 {
+		path := *updatesOut
+		if path == "" {
+			path = *out + ".updates"
+		}
+		seed2 := *updatesSeed
+		if seed2 == 0 {
+			seed2 = *seed + 1
+		}
+		ops := gen.Updates(coo, gen.UpdateOptions{
+			Count:          *updates,
+			DeleteFraction: *updatesDel,
+			MaxWeight:      *maxWeight,
+			Seed:           seed2,
+		})
+		ups := make([]graph.Update[float32], len(ops))
+		dels := 0
+		for i, op := range ops {
+			ups[i] = graph.Update[float32]{Src: op.Src, Dst: op.Dst, Val: op.Weight, Del: op.Del}
+			if op.Del {
+				dels++
+			}
+		}
+		uf, err := os.Create(path)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer uf.Close()
+		if err := graph.WriteUpdates(uf, ups); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("wrote %s: %d updates (%d deletes)\n", path, len(ups), dels)
+	}
 }
 
 func fatal(format string, args ...any) {

@@ -47,6 +47,7 @@ func main() {
 		jobs     = flag.Int("j", 0, "parallel ingestion workers for loading the graph (0 = GOMAXPROCS, 1 = sequential)")
 		timeout  = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 		progress = flag.Bool("progress", false, "print per-superstep progress")
+		updates  = flag.String("updates", "", "edge-update stream (NDJSON or '[add|del] src dst [w]' lines) applied through the versioned store before the run")
 	)
 	flag.Parse()
 	if *algo == "" || *path == "" {
@@ -94,9 +95,25 @@ func main() {
 	cfg := graphmat.Config{Threads: *threads, Mode: mode}
 	start := time.Now()
 
+	// -updates rides the versioned store: the batch lands as delta overlays
+	// on the built instance — the same path a live graphmatd mutation takes —
+	// rather than as a pre-load edit of the input.
+	var batch []graphmat.EdgeUpdate
+	var master *graphmat.COO[float32]
+	if *updates != "" {
+		if batch, err = graphmat.LoadUpdatesFile(*updates); err != nil {
+			fatal("%v", err)
+		}
+		master = adj.Clone()
+		graphmat.NormalizeAdjacency(master, *jobs)
+	}
+
 	name := strings.ToLower(*algo)
 	if name == "cc" { // historical CLI name for connected components
 		name = "components"
+	}
+	if *updates != "" && (name == "cf" || name == "degrees") {
+		fatal("-updates supports the registry algorithms (%s), not %s", strings.Join(algorithms.Names(), ", "), name)
 	}
 	switch name {
 	case "cf":
@@ -137,6 +154,18 @@ func main() {
 		fatal("%v", err)
 	}
 	build := time.Since(start)
+	if len(batch) > 0 {
+		applyStart := time.Now()
+		if master, err = graphmat.ApplyToAdjacency(master, batch); err != nil {
+			fatal("%v", err)
+		}
+		res, err := inst.ApplyUpdates(batch, algorithms.NewRawEdgeLookup(master))
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("applied %d updates in %.3fs: epoch %d, +%d -%d ~%d property edges (compacted=%v)\n",
+			len(batch), time.Since(applyStart).Seconds(), res.Epoch, res.Inserted, res.Deleted, res.Updated, res.Compacted)
+	}
 	params := algorithms.Params{Source: uint32(*source), Iterations: *iters, Threads: *threads, Mode: mode}
 	start = time.Now()
 	res, err := inst.RunContext(ctx, params, nil, obs)

@@ -36,6 +36,7 @@ package graphmat
 
 import (
 	"context"
+	"io"
 	"time"
 
 	"graphmat/internal/core"
@@ -238,4 +239,68 @@ type LoadOptions = graph.LoadOptions
 // LoadFileOptions is LoadFile with explicit ingestion options.
 func LoadFileOptions(path string, opt LoadOptions) (*COO[float32], error) {
 	return graph.LoadFileOptions(path, opt)
+}
+
+// Store is a versioned mutable graph: immutable epoch-numbered snapshots
+// advanced by batched edge updates, with refcounted pinning and automatic
+// compaction of the delta overlay back into the base structures. See
+// graph.Store.
+type Store[V, E any] = graph.Store[V, E]
+
+// Snapshot is one pinned, immutable version of a store's graph.
+type Snapshot[V, E any] = graph.Snapshot[V, E]
+
+// Update is one edge mutation: an upsert (insert or value replace) or, with
+// Del set, a delete. Within a batch the last mutation of a (src, dst) key
+// wins.
+type Update[E any] = graph.Update[E]
+
+// EdgeUpdate is the float32-weighted update the ready-made algorithms,
+// generators and wire formats use.
+type EdgeUpdate = graph.Update[float32]
+
+// ApplyResult reports what one update batch did (epoch produced, edges
+// inserted/deleted/updated, whether compaction ran).
+type ApplyResult = graph.ApplyResult
+
+// StoreStats is a point-in-time view of a store for observability.
+type StoreStats = graph.StoreStats
+
+// DefaultCompactFraction is the overlay-to-base size ratio beyond which
+// ApplyEdges compacts when Options.CompactFraction is zero.
+const DefaultCompactFraction = graph.DefaultCompactFraction
+
+// NewStore builds a versioned store whose epoch-0 snapshot is the graph New
+// would build from the same input (the adjacency is consumed the same way).
+func NewStore[V, E any](adj *COO[E], opts Options) (*Store[V, E], error) {
+	return graph.NewStore[V, E](adj, opts)
+}
+
+// ParseUpdates parses an edge-update stream — NDJSON ({"src","dst","weight",
+// "del"} per line) or the text form ([add|del] src dst [weight]) — sniffing
+// the format from the first byte.
+func ParseUpdates(data []byte) ([]EdgeUpdate, error) { return graph.ParseUpdates(data) }
+
+// WriteUpdates writes an edge-update stream as NDJSON.
+func WriteUpdates(w io.Writer, ups []EdgeUpdate) error { return graph.WriteUpdates(w, ups) }
+
+// LoadUpdatesFile reads and parses an update-stream file (format sniffed).
+func LoadUpdatesFile(path string) ([]EdgeUpdate, error) { return graph.LoadUpdatesFile(path) }
+
+// NormalizeAdjacency sorts adjacency triples row-major and deduplicates
+// keep-first in place — the canonical master-copy form the update helpers
+// below expect. Normalizing before any algorithm build changes nothing
+// downstream (builders deduplicate the same way).
+func NormalizeAdjacency[E any](adj *COO[E], workers int) { graph.NormalizeAdjacency(adj, workers) }
+
+// ApplyToAdjacency returns a new adjacency equal to a normalized adj with
+// the update batch applied (upserts replace or append, deletes remove). adj
+// is not modified.
+func ApplyToAdjacency[E any](adj *COO[E], batch []Update[E]) (*COO[E], error) {
+	return graph.ApplyToAdjacency(adj, batch)
+}
+
+// LookupEdge binary-searches a normalized adjacency for edge src→dst.
+func LookupEdge[E any](adj *COO[E], src, dst uint32) (E, bool) {
+	return graph.LookupEdge(adj, src, dst)
 }

@@ -17,28 +17,88 @@ import (
 // optimization, against the *same* graph structures, so the measured deltas
 // isolate dispatch cost.
 
-// boxedPartition lets the boxed kernel walk a DCSC partition without being
-// specialized to the edge type.
+// boxedPartition lets the boxed kernel walk a partition — a plain DCSC or a
+// base+delta overlay — without being specialized to the edge type. Columns
+// are addressed by position in the partition's live column sequence and
+// edges by offset within their column, so an overlay can interleave its two
+// layers behind the same interface.
 type boxedPartition interface {
 	numColumns() int
-	column(ci int) (col uint32, lo, hi int)
-	edge(k int) (dst uint32, val any)
-	rowRange() (lo, hi uint32)
+	column(ci int) (col uint32, nedges int)
+	edge(ci, k int) (dst uint32, val any)
 }
 
 type boxedDCSC[E any] struct{ part *sparse.DCSC[E] }
 
 func (b boxedDCSC[E]) numColumns() int { return len(b.part.JC) }
-func (b boxedDCSC[E]) column(ci int) (uint32, int, int) {
-	return b.part.JC[ci], int(b.part.CP[ci]), int(b.part.CP[ci+1])
+func (b boxedDCSC[E]) column(ci int) (uint32, int) {
+	return b.part.JC[ci], int(b.part.CP[ci+1] - b.part.CP[ci])
 }
-func (b boxedDCSC[E]) edge(k int) (uint32, any)   { return b.part.IR[k], b.part.Val[k] }
-func (b boxedDCSC[E]) rowRange() (uint32, uint32) { return b.part.RowLo, b.part.RowHi }
+func (b boxedDCSC[E]) edge(ci, k int) (uint32, any) {
+	at := b.part.CP[ci] + uint32(k)
+	return b.part.IR[at], b.part.Val[at]
+}
 
-func boxPartitions[E any](parts []*sparse.DCSC[E]) []boxedPartition {
-	out := make([]boxedPartition, len(parts))
-	for i, p := range parts {
-		out[i] = boxedDCSC[E]{part: p}
+// overlayColRef locates one live column of a layered partition: which layer
+// stores it and at which position.
+type overlayColRef struct {
+	col   uint32
+	delta bool
+	ci    int32
+}
+
+// boxedOverlay walks a base+delta partition in merged column order. The
+// column refs are precomputed at boxing time (O(columns), no edge copying),
+// preserving the boxed path's no-materialization property.
+type boxedOverlay[E any] struct {
+	base, delta *sparse.DCSC[E]
+	cols        []overlayColRef
+}
+
+func (b *boxedOverlay[E]) numColumns() int { return len(b.cols) }
+func (b *boxedOverlay[E]) layer(ci int) (*sparse.DCSC[E], int) {
+	ref := b.cols[ci]
+	if ref.delta {
+		return b.delta, int(ref.ci)
+	}
+	return b.base, int(ref.ci)
+}
+func (b *boxedOverlay[E]) column(ci int) (uint32, int) {
+	d, i := b.layer(ci)
+	return b.cols[ci].col, int(d.CP[i+1] - d.CP[i])
+}
+func (b *boxedOverlay[E]) edge(ci, k int) (uint32, any) {
+	d, i := b.layer(ci)
+	at := d.CP[i] + uint32(k)
+	return d.IR[at], d.Val[at]
+}
+
+func boxLayers[E any](layers []sparse.Layered[E]) []boxedPartition {
+	out := make([]boxedPartition, len(layers))
+	for i, l := range layers {
+		if l.Delta == nil {
+			out[i] = boxedDCSC[E]{part: l.Base}
+			continue
+		}
+		b, d := l.Base, l.Delta
+		cols := make([]overlayColRef, 0, len(b.JC)+len(d.JC))
+		bi, di := 0, 0
+		for bi < len(b.JC) || di < len(d.JC) {
+			if di >= len(d.JC) || (bi < len(b.JC) && b.JC[bi] < d.JC[di]) {
+				cols = append(cols, overlayColRef{col: b.JC[bi], ci: int32(bi)})
+				bi++
+				continue
+			}
+			j := d.JC[di]
+			if bi < len(b.JC) && b.JC[bi] == j {
+				bi++ // overridden
+			}
+			if d.CP[di+1] > d.CP[di] { // tombstones are not live columns
+				cols = append(cols, overlayColRef{col: j, delta: true, ci: int32(di)})
+			}
+			di++
+		}
+		out[i] = &boxedOverlay[E]{base: b, delta: d, cols: cols}
 	}
 	return out
 }
@@ -77,14 +137,14 @@ func spmvBoxedBitvec(part boxedPartition, x *sparse.Vector[any], bp boxedProgram
 	n := part.numColumns()
 	edges := int64(0)
 	for ci := 0; ci < n; ci++ {
-		j, lo, hi := part.column(ci)
+		j, ne := part.column(ci)
 		if !x.Has(j) {
 			continue
 		}
 		m := x.Get(j)
-		edges += int64(hi - lo)
-		for k := lo; k < hi; k++ {
-			dst, e := part.edge(k)
+		edges += int64(ne)
+		for k := 0; k < ne; k++ {
+			dst, e := part.edge(ci, k)
 			r := bp.process(m, e, dst)
 			if y.Has(dst) {
 				y.Set(dst, bp.reduce(y.Get(dst), r))
@@ -101,14 +161,14 @@ func spmvBoxedSorted(part boxedPartition, xs *sparse.SortedVector[any], bp boxed
 	n := part.numColumns()
 	edges := int64(0)
 	for ci := 0; ci < n; ci++ {
-		j, lo, hi := part.column(ci)
+		j, ne := part.column(ci)
 		if !xs.Has(j) {
 			continue
 		}
 		m := xs.Get(j)
-		edges += int64(hi - lo)
-		for k := lo; k < hi; k++ {
-			dst, e := part.edge(k)
+		edges += int64(ne)
+		for k := 0; k < ne; k++ {
+			dst, e := part.edge(ci, k)
 			r := bp.process(m, e, dst)
 			if y.Has(dst) {
 				y.Set(dst, bp.reduce(y.Get(dst), r))
@@ -129,10 +189,10 @@ func runBoxed[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 
 	var outParts, inParts []boxedPartition
 	if dir&graph.Out != 0 {
-		outParts = boxPartitions(g.OutPartitions())
+		outParts = boxLayers(g.OutLayers())
 	}
 	if dir&graph.In != 0 {
-		inParts = boxPartitions(g.InPartitions())
+		inParts = boxLayers(g.InLayers())
 	}
 
 	var x *sparse.Vector[any]

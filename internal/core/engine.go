@@ -136,12 +136,15 @@ func runTyped[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 	active := g.Active()
 	dir := p.Direction()
 
-	var outParts, inParts []*sparse.DCSC[E]
+	// The traversal structures are pinned once here as base+delta layers:
+	// whatever the graph's owning store publishes later, this run keeps
+	// iterating exactly this epoch's edge set.
+	var outLayers, inLayers []sparse.Layered[E]
 	if dir&graph.Out != 0 {
-		outParts = g.OutPartitions()
+		outLayers = g.OutLayers()
 	}
 	if dir&graph.In != 0 {
-		inParts = g.InPartitions()
+		inLayers = g.InLayers()
 	}
 
 	// Auto mode needs the frontier's edge work each superstep: the degree of
@@ -164,7 +167,7 @@ func runTyped[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 				autoDegs[v] = outDegs[v] + inDegs[v]
 			}
 		}
-		costs = AddParts(AddParts(costs, outParts), inParts)
+		costs = AddLayers(AddLayers(costs, outLayers), inLayers)
 	}
 
 	x, xs, y := ws.x, ws.xs, ws.y
@@ -252,22 +255,38 @@ func runTyped[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 			}
 			// Phase 2: generalized SpMV (Algorithm 1) through the selected
 			// kernel. Each partition owns a disjoint 64-aligned output row
-			// range, so no synchronization on y.
+			// range, so no synchronization on y. Partitions with a delta
+			// overlay run the merged two-layer kernels; the rest take the
+			// single-layer fast path.
 			y.Reset()
-			for _, parts := range [2][]*sparse.DCSC[E]{outParts, inParts} {
-				if parts == nil {
+			for _, layers := range [2][]sparse.Layered[E]{outLayers, inLayers} {
+				if layers == nil {
 					continue
 				}
-				parallelFor(cfg.Threads, len(parts), cfg.Schedule, stop, func(i, w int) {
+				parallelFor(cfg.Threads, len(layers), cfg.Schedule, stop, func(i, w int) {
+					l := layers[i]
+					if l.Delta == nil {
+						switch {
+						case x != nil && stepMode == Push:
+							spmvPushBitvec(l.Base, x, props, p, y, &locals[w])
+						case x != nil:
+							spmvPullBitvec(l.Base, x, props, p, y, &locals[w])
+						case stepMode == Push:
+							spmvPushSorted(l.Base, xs, props, p, y, &locals[w])
+						default:
+							spmvPullSorted(l.Base, xs, props, p, y, &locals[w])
+						}
+						return
+					}
 					switch {
 					case x != nil && stepMode == Push:
-						spmvPushBitvec(parts[i], x, props, p, y, &locals[w])
+						spmvPushBitvecLayered(l, x, props, p, y, &locals[w])
 					case x != nil:
-						spmvPullBitvec(parts[i], x, props, p, y, &locals[w])
+						spmvPullBitvecLayered(l, x, props, p, y, &locals[w])
 					case stepMode == Push:
-						spmvPushSorted(parts[i], xs, props, p, y, &locals[w])
+						spmvPushSortedLayered(l, xs, props, p, y, &locals[w])
 					default:
-						spmvPullSorted(parts[i], xs, props, p, y, &locals[w])
+						spmvPullSortedLayered(l, xs, props, p, y, &locals[w])
 					}
 				})
 			}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"math/bits"
+
+	"graphmat/internal/sparse"
+)
+
+// This file is the overlay-aware half of the kernel layer: the pull and push
+// SpMV kernels over a Layered partition — an immutable base DCSC plus a delta
+// DCSC of whole-column overrides carrying live edge updates. The invariants
+// match the single-layer kernels exactly:
+//
+//  1. columns are visited in ascending column id, merged across the two
+//     layers, with a delta override replacing (never joining) its base
+//     column — so the per-destination Reduce fold order equals what a
+//     from-scratch build of the live edge set would produce, and results on
+//     an overlay are bit-identical to a fresh build;
+//  2. an override with zero entries is a tombstone: it masks its base column
+//     and is neither probed nor counted, matching the fresh build in which
+//     the column simply does not exist;
+//  3. the partition's disjoint 64-aligned output row range is untouched —
+//     deltas cover the same row range as their base.
+//
+// Partitions without a delta never reach these kernels; the engine
+// dispatches them to the single-layer fast path.
+
+// foldColumn folds one live column into the output vector: ProcessMessage on
+// every edge, Reduce on collisions — the shared inner loop of the layered
+// kernels. The bounds of irc/vc are established by the caller's subslicing.
+func foldColumn[V, E, M, R any, P Program[V, E, M, R]](
+	p P, m M, irc []uint32, vc []E, props []V, yw []uint64, yvals []R, dstFree bool,
+) {
+	if dstFree {
+		var zeroV V
+		for k, dst := range irc {
+			r := p.ProcessMessage(m, vc[k], zeroV)
+			w := &yw[dst>>6]
+			bit := uint64(1) << (dst & 63)
+			if *w&bit != 0 {
+				yvals[dst] = p.Reduce(yvals[dst], r)
+			} else {
+				yvals[dst] = r
+				*w |= bit
+			}
+		}
+		return
+	}
+	for k, dst := range irc {
+		r := p.ProcessMessage(m, vc[k], props[dst])
+		w := &yw[dst>>6]
+		bit := uint64(1) << (dst & 63)
+		if *w&bit != 0 {
+			yvals[dst] = p.Reduce(yvals[dst], r)
+		} else {
+			yvals[dst] = r
+			*w |= bit
+		}
+	}
+}
+
+// liveColumn resolves column j of an overlay for the push kernels: the delta
+// override when present (authoritative, possibly an empty tombstone), the
+// base column otherwise. Both lookups ride the AUX index, so the probe stays
+// ~O(1) whichever layer owns the column.
+func liveColumn[E any](base, delta *sparse.DCSC[E], j uint32) (irc []uint32, vc []E, ok bool) {
+	if ci, found := delta.FindColumn(j); found {
+		lo, hi := delta.CP[ci], delta.CP[ci+1]
+		if lo == hi {
+			return nil, nil, false // tombstone
+		}
+		return delta.IR[lo:hi], delta.Val[lo:hi:hi], true
+	}
+	if ci, found := base.FindColumn(j); found {
+		lo, hi := base.CP[ci], base.CP[ci+1]
+		return base.IR[lo:hi], base.Val[lo:hi:hi], true
+	}
+	return nil, nil, false
+}
+
+// spmvPullBitvecLayered is the pull kernel over an overlay: a two-pointer
+// merge of the base and delta column lists, probing the frontier bitvector
+// per live column.
+func spmvPullBitvecLayered[V, E, M, R any, P Program[V, E, M, R]](
+	l sparse.Layered[E],
+	x *sparse.Vector[M],
+	props []V,
+	p P,
+	y *sparse.Vector[R],
+	st *localStats,
+) {
+	base, delta := l.Base, l.Delta
+	bjc, djc := base.JC, delta.JC
+	xw := x.Mask().Words()
+	xvals := x.Values()
+	yw := y.Mask().Words()
+	yvals := y.Values()
+	_, dstFree := any(p).(DstIndependent)
+	probes, edges := int64(0), int64(0)
+	bi, di := 0, 0
+	for bi < len(bjc) || di < len(djc) {
+		var j uint32
+		var irc []uint32
+		var vc []E
+		if di >= len(djc) || (bi < len(bjc) && bjc[bi] < djc[di]) {
+			j = bjc[bi]
+			lo, hi := base.CP[bi], base.CP[bi+1]
+			irc, vc = base.IR[lo:hi], base.Val[lo:hi:hi]
+			bi++
+		} else {
+			j = djc[di]
+			if bi < len(bjc) && bjc[bi] == j {
+				bi++ // base column overridden
+			}
+			lo, hi := delta.CP[di], delta.CP[di+1]
+			di++
+			if lo == hi {
+				continue // tombstone: not a live column, not a probe
+			}
+			irc, vc = delta.IR[lo:hi], delta.Val[lo:hi:hi]
+		}
+		probes++
+		if xw[j>>6]&(1<<(j&63)) == 0 {
+			continue
+		}
+		edges += int64(len(irc))
+		foldColumn(p, xvals[j], irc, vc, props, yw, yvals, dstFree)
+	}
+	st.probes += probes
+	st.edges += edges
+}
+
+// spmvPushBitvecLayered is the push SpMSpV over an overlay: iterate the
+// frontier in ascending index order and resolve each column through the
+// delta-first AUX lookup.
+func spmvPushBitvecLayered[V, E, M, R any, P Program[V, E, M, R]](
+	l sparse.Layered[E],
+	x *sparse.Vector[M],
+	props []V,
+	p P,
+	y *sparse.Vector[R],
+	st *localStats,
+) {
+	base, delta := l.Base, l.Delta
+	if len(base.JC) == 0 && len(delta.JC) == 0 {
+		return
+	}
+	xw := x.Mask().Words()
+	xvals := x.Values()
+	yw := y.Mask().Words()
+	yvals := y.Values()
+	_, dstFree := any(p).(DstIndependent)
+	probes, edges := int64(0), int64(0)
+	// Only frontier words overlapping either layer's stored column range can
+	// match.
+	loCol, hiCol := ^uint32(0), uint32(0)
+	if len(base.JC) > 0 {
+		loCol, hiCol = base.JC[0], base.JC[len(base.JC)-1]
+	}
+	if len(delta.JC) > 0 {
+		loCol = min(loCol, delta.JC[0])
+		hiCol = max(hiCol, delta.JC[len(delta.JC)-1])
+	}
+	loW := int(loCol >> 6)
+	hiW := int(hiCol>>6) + 1
+	if hiW > len(xw) {
+		hiW = len(xw)
+	}
+	for wi := loW; wi < hiW; wi++ {
+		w := xw[wi]
+		base32 := uint32(wi) << 6
+		for w != 0 {
+			j := base32 + uint32(bits.TrailingZeros64(w))
+			w &= w - 1
+			probes++
+			irc, vc, ok := liveColumn(base, delta, j)
+			if !ok {
+				continue
+			}
+			edges += int64(len(irc))
+			foldColumn(p, xvals[j], irc, vc, props, yw, yvals, dstFree)
+		}
+	}
+	st.probes += probes
+	st.edges += edges
+}
+
+// spmvPullSortedLayered is the layered pull kernel against the sorted-tuple
+// message vector: same merged column walk, binary-search presence probe.
+func spmvPullSortedLayered[V, E, M, R any, P Program[V, E, M, R]](
+	l sparse.Layered[E],
+	xs *sparse.SortedVector[M],
+	props []V,
+	p P,
+	y *sparse.Vector[R],
+	st *localStats,
+) {
+	base, delta := l.Base, l.Delta
+	bjc, djc := base.JC, delta.JC
+	yw := y.Mask().Words()
+	yvals := y.Values()
+	_, dstFree := any(p).(DstIndependent)
+	probes, edges := int64(0), int64(0)
+	bi, di := 0, 0
+	for bi < len(bjc) || di < len(djc) {
+		var j uint32
+		var irc []uint32
+		var vc []E
+		if di >= len(djc) || (bi < len(bjc) && bjc[bi] < djc[di]) {
+			j = bjc[bi]
+			lo, hi := base.CP[bi], base.CP[bi+1]
+			irc, vc = base.IR[lo:hi], base.Val[lo:hi:hi]
+			bi++
+		} else {
+			j = djc[di]
+			if bi < len(bjc) && bjc[bi] == j {
+				bi++
+			}
+			lo, hi := delta.CP[di], delta.CP[di+1]
+			di++
+			if lo == hi {
+				continue
+			}
+			irc, vc = delta.IR[lo:hi], delta.Val[lo:hi:hi]
+		}
+		probes++
+		if !xs.Has(j) {
+			continue
+		}
+		edges += int64(len(irc))
+		foldColumn(p, xs.Get(j), irc, vc, props, yw, yvals, dstFree)
+	}
+	st.probes += probes
+	st.edges += edges
+}
+
+// spmvPushSortedLayered is the layered push kernel against the sorted-tuple
+// message vector: the frontier is already an ascending entry list, walked
+// directly with delta-first column resolution.
+func spmvPushSortedLayered[V, E, M, R any, P Program[V, E, M, R]](
+	l sparse.Layered[E],
+	xs *sparse.SortedVector[M],
+	props []V,
+	p P,
+	y *sparse.Vector[R],
+	st *localStats,
+) {
+	base, delta := l.Base, l.Delta
+	if len(base.JC) == 0 && len(delta.JC) == 0 {
+		return
+	}
+	yw := y.Mask().Words()
+	yvals := y.Values()
+	_, dstFree := any(p).(DstIndependent)
+	probes, edges := int64(0), int64(0)
+	xs.Iterate(func(j uint32, m M) {
+		probes++
+		irc, vc, ok := liveColumn(base, delta, j)
+		if !ok {
+			return
+		}
+		edges += int64(len(irc))
+		foldColumn(p, m, irc, vc, props, yw, yvals, dstFree)
+	})
+	st.probes += probes
+	st.edges += edges
+}
+
+// AddLayers folds a layered partition set into the Auto cost model using the
+// LIVE quantities — the edge and column counts the kernels will actually
+// see, not the base's.
+func AddLayers[E any](c KernelCosts, layers []sparse.Layered[E]) KernelCosts {
+	for _, l := range layers {
+		c.TotalEdges += int64(l.LiveNNZ())
+		c.TotalNZCols += int64(l.LiveNZColumns())
+	}
+	c.Partitions += len(layers)
+	return c
+}

@@ -32,15 +32,15 @@ func SpMVContext[V, E, M, R any, P Program[V, E, M, R]](
 
 	y := sparse.NewVector[R](int(g.NumVertices()))
 	locals := make([]localStats, cfg.Threads)
-	parts := g.OutPartitions()
+	layers := g.OutLayers()
 	degs := g.OutDegrees()
 	if p.Direction()&graph.In != 0 {
-		parts = g.InPartitions()
+		layers = g.InLayers()
 		degs = g.InDegrees()
 	}
 	mode := cfg.Mode
 	if mode == Auto {
-		costs := AddParts(KernelCosts{}, parts)
+		costs := AddLayers(KernelCosts{}, layers)
 		mode = costs.Choose(mode, cfg.PushThreshold, int64(x.NNZ()), frontierWork(x, degs))
 	}
 
@@ -49,16 +49,30 @@ func SpMVContext[V, E, M, R any, P Program[V, E, M, R]](
 		xs = sparse.NewSortedVector[M](x.Len())
 		x.Iterate(func(i uint32, v M) { xs.Append(i, v) })
 	}
-	parallelFor(cfg.Threads, len(parts), cfg.Schedule, ctrl.flag(), func(i, w int) {
+	parallelFor(cfg.Threads, len(layers), cfg.Schedule, ctrl.flag(), func(i, w int) {
+		l := layers[i]
+		if l.Delta == nil {
+			switch {
+			case xs == nil && mode == Push:
+				spmvPushBitvec(l.Base, x, g.Props(), p, y, &locals[w])
+			case xs == nil:
+				spmvPullBitvec(l.Base, x, g.Props(), p, y, &locals[w])
+			case mode == Push:
+				spmvPushSorted(l.Base, xs, g.Props(), p, y, &locals[w])
+			default:
+				spmvPullSorted(l.Base, xs, g.Props(), p, y, &locals[w])
+			}
+			return
+		}
 		switch {
 		case xs == nil && mode == Push:
-			spmvPushBitvec(parts[i], x, g.Props(), p, y, &locals[w])
+			spmvPushBitvecLayered(l, x, g.Props(), p, y, &locals[w])
 		case xs == nil:
-			spmvPullBitvec(parts[i], x, g.Props(), p, y, &locals[w])
+			spmvPullBitvecLayered(l, x, g.Props(), p, y, &locals[w])
 		case mode == Push:
-			spmvPushSorted(parts[i], xs, g.Props(), p, y, &locals[w])
+			spmvPushSortedLayered(l, xs, g.Props(), p, y, &locals[w])
 		default:
-			spmvPullSorted(parts[i], xs, g.Props(), p, y, &locals[w])
+			spmvPullSortedLayered(l, xs, g.Props(), p, y, &locals[w])
 		}
 	})
 	if r, ok := ctrl.stopped(); ok {

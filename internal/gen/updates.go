@@ -1,0 +1,78 @@
+package gen
+
+import (
+	"graphmat/internal/sparse"
+)
+
+// EdgeOp is one generated edge mutation. It mirrors graph.Update[float32]
+// field for field but is defined here so the generator stays importable from
+// graph's own tests (gen must not depend on graph).
+type EdgeOp struct {
+	Src, Dst uint32
+	Weight   float32
+	Del      bool
+}
+
+// UpdateOptions configures the edge-update-stream generator.
+type UpdateOptions struct {
+	// Count is the number of updates to emit.
+	Count int
+	// DeleteFraction is the share of updates that delete an existing base
+	// edge; the rest are inserts/upserts. 0 means 0.3.
+	DeleteFraction float64
+	// MaxWeight draws insert weights uniformly from [1, MaxWeight]; 0 means
+	// unweighted (weight 1).
+	MaxWeight int
+	// Seed seeds the deterministic generator.
+	Seed uint64
+}
+
+// Updates generates a realistic edge-update stream against a base graph:
+// deletes sample existing base edges (so they hit real columns, hubs
+// included, with the base's degree bias), inserts sample fresh endpoint
+// pairs uniformly, and a small slice of adversarial records — self-loops,
+// repeated keys, delete-then-reinsert churn — keeps downstream consumers
+// (update benchmarks, fuzz corpora, differential suites) honest about batch
+// semantics. The base is read, not modified. Output order is the stream
+// order; batch consumers cut it wherever they like.
+func Updates(base *sparse.COO[float32], opt UpdateOptions) []EdgeOp {
+	if opt.Count <= 0 {
+		return nil
+	}
+	delFrac := opt.DeleteFraction
+	if delFrac == 0 {
+		delFrac = 0.3
+	}
+	rng := NewRNG(opt.Seed ^ 0x75bcd15)
+	n := base.NRows
+	weight := func() float32 {
+		if opt.MaxWeight <= 0 {
+			return 1
+		}
+		return float32(rng.Intn(opt.MaxWeight) + 1)
+	}
+	ups := make([]EdgeOp, 0, opt.Count)
+	for len(ups) < opt.Count {
+		switch {
+		case len(base.Entries) > 0 && rng.Float64() < delFrac:
+			t := base.Entries[rng.Intn(len(base.Entries))]
+			ups = append(ups, EdgeOp{Src: t.Row, Dst: t.Col, Del: true})
+		case rng.Float64() < 0.02:
+			// Adversarial slice: self-loops and same-key churn
+			// (insert → delete → reinsert of one fresh pair).
+			v := rng.Uint32n(n)
+			ups = append(ups, EdgeOp{Src: v, Dst: v, Weight: weight()})
+			if len(ups) < opt.Count {
+				w := rng.Uint32n(n)
+				ups = append(ups,
+					EdgeOp{Src: v, Dst: w, Weight: weight()},
+					EdgeOp{Src: v, Dst: w, Del: true},
+					EdgeOp{Src: v, Dst: w, Weight: weight()})
+				ups = ups[:min(len(ups), opt.Count)]
+			}
+		default:
+			ups = append(ups, EdgeOp{Src: rng.Uint32n(n), Dst: rng.Uint32n(n), Weight: weight()})
+		}
+	}
+	return ups
+}

@@ -42,6 +42,12 @@ type Options struct {
 	// sequential path. Both paths produce bit-identical graphs — the
 	// differential tests assert it — so parallel is the default.
 	Workers int
+	// CompactFraction is the store's compaction trigger: once the delta
+	// overlay's storage cost exceeds this fraction of the base structures'
+	// nonzeros, ApplyEdges folds the overlay back into the base through the
+	// parallel rebuild pipeline. 0 means DefaultCompactFraction; negative
+	// disables automatic compaction (Store.Compact still works).
+	CompactFraction float64
 }
 
 func (o Options) withDefaults() Options {
@@ -74,6 +80,25 @@ type Graph[V, E any] struct {
 
 	outParts []*sparse.DCSC[E]
 	inParts  []*sparse.DCSC[E]
+
+	// outDelta/inDelta are per-partition whole-column overrides holding the
+	// live edge set's divergence from the base partitions; nil (or nil per
+	// entry) when a partition has no pending mutations. They are produced by
+	// applyBatch and folded back into the base by compaction. fwd/bwd and the
+	// base partitions describe the BASE edge set; pending records the
+	// mutations separating it from the live one.
+	outDelta, inDelta []*sparse.DCSC[E]
+	// overlayNNZ is the overlay's storage cost in entries across both
+	// directions — the compaction trigger input.
+	overlayNNZ int64
+	// epoch numbers the live edge-set version; 0 is the as-built graph and
+	// every applied batch increments it. Compaction changes the
+	// representation, not the edge set, so it keeps the epoch.
+	epoch uint64
+	// pending is the normalized mutation log since the base was built, in
+	// application order. It replays onto lazily built traversal structures
+	// and materializes the live edge set for compaction.
+	pending []Update[E]
 
 	props  []V
 	active *bitvec.Vector
@@ -186,49 +211,113 @@ func (g *Graph[V, E]) OutDegrees() []uint32 { return g.outDeg }
 // InDegrees returns the in-degree array indexed by vertex.
 func (g *Graph[V, E]) InDegrees() []uint32 { return g.inDeg }
 
-// OutPartitions returns the row partitions of Gᵀ (out-edge scatter),
+// OutPartitions returns the BASE row partitions of Gᵀ (out-edge scatter),
 // building them on first use if the graph was constructed without
-// Direction Out.
+// Direction Out. On a graph carrying live updates the base excludes the
+// overlay; kernels and materializers use OutLayers, which pairs each base
+// partition with its delta.
 func (g *Graph[V, E]) OutPartitions() []*sparse.DCSC[E] {
 	if g.outParts == nil {
 		g.outParts = sparse.BuildPartitionedDCSCParallel(g.fwd, g.opts.Partitions, g.opts.Workers)
+		if len(g.pending) > 0 {
+			g.outDelta = buildDeltas(g.outParts, nil, fwdMuts(normalizeUpdates(g.pending)), g.opts.Workers)
+		}
 	}
 	return g.outParts
 }
 
-// InPartitions returns the row partitions of G (in-edge scatter), building
-// them on first use if the graph was constructed without Direction In.
+// InPartitions returns the BASE row partitions of G (in-edge scatter),
+// building them on first use if the graph was constructed without Direction
+// In. Like OutPartitions, a lazy build replays the pending mutation log so
+// the new direction agrees with the live edge set.
 func (g *Graph[V, E]) InPartitions() []*sparse.DCSC[E] {
 	if g.inParts == nil {
 		g.buildBackward()
+		if len(g.pending) > 0 {
+			g.inDelta = buildDeltas(g.inParts, nil, bwdMuts(normalizeUpdates(g.pending)), g.opts.Workers)
+		}
 	}
 	return g.inParts
 }
+
+// OutLayers returns the out-edge traversal structure as base+delta pairs —
+// the view the engine kernels iterate. Partitions without pending mutations
+// have a nil Delta and take the single-layer fast path.
+func (g *Graph[V, E]) OutLayers() []sparse.Layered[E] {
+	return zipLayers(g.OutPartitions(), g.outDelta)
+}
+
+// InLayers returns the in-edge traversal structure as base+delta pairs.
+func (g *Graph[V, E]) InLayers() []sparse.Layered[E] {
+	return zipLayers(g.InPartitions(), g.inDelta)
+}
+
+func zipLayers[E any](parts, deltas []*sparse.DCSC[E]) []sparse.Layered[E] {
+	layers := make([]sparse.Layered[E], len(parts))
+	for i, p := range parts {
+		layers[i] = sparse.Layered[E]{Base: p}
+		if deltas != nil {
+			layers[i].Delta = deltas[i]
+		}
+	}
+	return layers
+}
+
+// Epoch reports the graph's edge-set version: 0 as built, +1 per applied
+// update batch.
+func (g *Graph[V, E]) Epoch() uint64 { return g.epoch }
+
+// OverlayNNZ reports the delta overlay's storage cost in entries (0 on a
+// fully compacted graph).
+func (g *Graph[V, E]) OverlayNNZ() int64 { return g.overlayNNZ }
+
+// PendingUpdates reports the number of normalized mutations separating the
+// live edge set from the base structures.
+func (g *Graph[V, E]) PendingUpdates() int { return len(g.pending) }
 
 // Partitions returns the current partition count.
 func (g *Graph[V, E]) Partitions() int { return g.opts.Partitions }
 
 // Repartition rebuilds the traversal structures with a new partition count.
 // The Figure 7 ablation uses this to compare partitions=threads (static)
-// against partitions=8×threads (dynamic load balancing).
+// against partitions=8×threads (dynamic load balancing). A graph carrying
+// live updates folds its overlay into the triple lists first — materialize
+// only, no interim partition build — so the single rebuild below sees the
+// live edge set at the new count. Repartition mutates the receiver: it is
+// for single-owner graphs, never published store snapshots.
 func (g *Graph[V, E]) Repartition(nparts int) {
 	if nparts < 1 {
 		nparts = 1
 	}
+	hadOut, hadIn := g.outParts != nil, g.inParts != nil
+	if len(g.pending) > 0 {
+		g.fwd = g.materializeFwd()
+		g.m = int64(len(g.fwd.Entries))
+		g.outDeg = g.fwd.ColCounts()
+		g.inDeg = g.fwd.RowCounts()
+		g.bwd, g.outParts, g.inParts = nil, nil, nil
+		g.outDelta, g.inDelta = nil, nil
+		g.pending, g.overlayNNZ = nil, 0
+	}
 	g.opts.Partitions = nparts
-	if g.outParts != nil {
+	if hadOut {
 		g.outParts = sparse.BuildPartitionedDCSCParallel(g.fwd, nparts, g.opts.Workers)
 	}
-	if g.inParts != nil {
-		g.inParts = sparse.BuildPartitionedDCSCParallel(g.bwd, nparts, g.opts.Workers)
+	if hadIn {
+		if g.bwd != nil {
+			g.inParts = sparse.BuildPartitionedDCSCParallel(g.bwd, nparts, g.opts.Workers)
+		} else {
+			g.buildBackward()
+		}
 	}
 }
 
-// Adjacency returns a copy of the forward adjacency (Row = src, Col = dst),
-// row-major sorted. Baseline engines use it to build their own structures.
+// Adjacency returns a copy of the live forward adjacency (Row = src,
+// Col = dst), row-major sorted. Baseline engines use it to build their own
+// structures; on a graph carrying updates the overlay is materialized in.
 func (g *Graph[V, E]) Adjacency() *sparse.COO[E] {
-	adj := g.fwd.Clone()
+	adj := g.materializeFwd()
 	adj.Transpose()
-	adj.SortRowMajor()
+	adj.SortRowMajorParallel(g.opts.Workers)
 	return adj
 }

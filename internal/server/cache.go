@@ -2,6 +2,7 @@ package server
 
 import (
 	"container/list"
+	"fmt"
 	"strings"
 	"sync"
 
@@ -27,10 +28,12 @@ type cacheItem struct {
 }
 
 // cacheKey builds the canonical cache key. The graph name goes first so
-// invalidation on graph removal is a prefix scan; \x00 cannot appear in
-// names (the registry rejects them).
-func cacheKey(graph, algo string, p algorithms.Params) string {
-	return graph + "\x00" + algo + "\x00" + p.Key()
+// invalidation on graph removal or mutation is a prefix scan; \x00 cannot
+// appear in names (the registry rejects them). The epoch is part of the key:
+// a result computed against one edge-set version can never be served for
+// another, even in the window before an update's invalidation sweep runs.
+func cacheKey(graph string, epoch uint64, algo string, p algorithms.Params) string {
+	return graph + "\x00" + fmt.Sprintf("%d", epoch) + "\x00" + algo + "\x00" + p.Key()
 }
 
 func newResultCache(capacity int) *resultCache {

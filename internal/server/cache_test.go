@@ -49,17 +49,17 @@ func TestCacheUpdateExisting(t *testing.T) {
 
 func TestCacheInvalidateGraph(t *testing.T) {
 	c := newResultCache(8)
-	c.put(cacheKey("g1", "bfs", algorithms.Params{Source: 1}), res(1))
-	c.put(cacheKey("g1", "sssp", algorithms.Params{Source: 1}), res(2))
-	c.put(cacheKey("g2", "bfs", algorithms.Params{Source: 1}), res(3))
+	c.put(cacheKey("g1", 0, "bfs", algorithms.Params{Source: 1}), res(1))
+	c.put(cacheKey("g1", 2, "sssp", algorithms.Params{Source: 1}), res(2))
+	c.put(cacheKey("g2", 0, "bfs", algorithms.Params{Source: 1}), res(3))
 	c.invalidateGraph("g1")
-	if _, ok := c.get(cacheKey("g1", "bfs", algorithms.Params{Source: 1})); ok {
+	if _, ok := c.get(cacheKey("g1", 0, "bfs", algorithms.Params{Source: 1})); ok {
 		t.Fatal("g1/bfs survived invalidation")
 	}
-	if _, ok := c.get(cacheKey("g1", "sssp", algorithms.Params{Source: 1})); ok {
-		t.Fatal("g1/sssp survived invalidation")
+	if _, ok := c.get(cacheKey("g1", 2, "sssp", algorithms.Params{Source: 1})); ok {
+		t.Fatal("g1/sssp survived invalidation (epoch 2)")
 	}
-	if _, ok := c.get(cacheKey("g2", "bfs", algorithms.Params{Source: 1})); !ok {
+	if _, ok := c.get(cacheKey("g2", 0, "bfs", algorithms.Params{Source: 1})); !ok {
 		t.Fatal("g2 wrongly invalidated")
 	}
 }
@@ -72,16 +72,17 @@ func TestCacheDisabled(t *testing.T) {
 	}
 }
 
-func TestCacheKeyDistinguishesGraphAndAlgo(t *testing.T) {
+func TestCacheKeyDistinguishesGraphEpochAndAlgo(t *testing.T) {
 	p := algorithms.Params{Source: 1}
 	keys := map[string]bool{
-		cacheKey("g1", "bfs", p):                                           true,
-		cacheKey("g2", "bfs", p):                                           true,
-		cacheKey("g1", "sssp", p):                                          true,
-		cacheKey("g1", "bfs", algorithms.Params{}):                         true,
-		cacheKey("g1", "bfs", algorithms.Params{Source: 1, Iterations: 3}): true,
+		cacheKey("g1", 0, "bfs", p):                                           true,
+		cacheKey("g2", 0, "bfs", p):                                           true,
+		cacheKey("g1", 1, "bfs", p):                                           true,
+		cacheKey("g1", 0, "sssp", p):                                          true,
+		cacheKey("g1", 0, "bfs", algorithms.Params{}):                         true,
+		cacheKey("g1", 0, "bfs", algorithms.Params{Source: 1, Iterations: 3}): true,
 	}
-	if len(keys) != 5 {
+	if len(keys) != 6 {
 		t.Fatalf("cache keys collide: %v", keys)
 	}
 }

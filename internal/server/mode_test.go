@@ -64,12 +64,14 @@ func TestRunModeParam(t *testing.T) {
 	}
 	var stats struct {
 		ModeRuns map[string]int64 `json:"mode_runs"`
-		Graphs   map[string]map[string]struct {
-			Engine struct {
-				PushSupersteps int64
-				PullSupersteps int64
-				Iterations     int64
-			} `json:"engine"`
+		Graphs   map[string]struct {
+			Algorithms map[string]struct {
+				Engine struct {
+					PushSupersteps int64
+					PullSupersteps int64
+					Iterations     int64
+				} `json:"engine"`
+			} `json:"algorithms"`
 		} `json:"graphs"`
 	}
 	if err := json.Unmarshal(body, &stats); err != nil {
@@ -78,7 +80,7 @@ func TestRunModeParam(t *testing.T) {
 	if stats.ModeRuns["pull"] < 1 || stats.ModeRuns["push"] < 2 || stats.ModeRuns["auto"] < 1 {
 		t.Errorf("mode_runs tallies wrong: %v", stats.ModeRuns)
 	}
-	eng := stats.Graphs["g"]["bfs"].Engine
+	eng := stats.Graphs["g"].Algorithms["bfs"].Engine
 	if eng.PushSupersteps+eng.PullSupersteps == 0 {
 		t.Errorf("engine superstep mode split missing: %+v", eng)
 	}

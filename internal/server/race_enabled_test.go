@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// raceEnabled relaxes assertions that depend on sync.Pool retention: race
+// builds make the pool drop items randomly on purpose, so exact
+// workspace-reuse counts only hold without the detector.
+const raceEnabled = true

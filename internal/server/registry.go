@@ -12,6 +12,7 @@ import (
 	"graphmat"
 	"graphmat/algorithms"
 	"graphmat/internal/counters"
+	"graphmat/internal/graph"
 	"graphmat/internal/sparse"
 )
 
@@ -34,12 +35,26 @@ func NewRegistry(partitions, workers int) *Registry {
 	return &Registry{partitions: partitions, workers: workers, graphs: make(map[string]*GraphEntry)}
 }
 
-// GraphEntry is one registered graph.
+// GraphEntry is one registered graph. The master adjacency is the raw edge
+// set's source of truth: normalized (row-major sorted, deduplicated) at
+// registration and replaced wholesale by each update batch, so readers
+// (lazy instance builds, update translation lookups) always see a complete
+// epoch. Per-algorithm property graphs are versioned stores; an update batch
+// fans out to every built instance through its own preprocessing.
 type GraphEntry struct {
 	name       string
 	source     string
-	adj        *sparse.COO[float32] // master copy; never mutated after Add
 	partitions int
+	workers    int
+
+	// updMu serializes whole update batches (master swap + instance
+	// fan-out) so every instance sees batches in the same order.
+	updMu sync.Mutex
+
+	adjMu   sync.RWMutex
+	adj     *sparse.COO[float32] // normalized master; replaced, never mutated
+	epoch   uint64
+	updates int64 // raw edge updates applied over the entry's lifetime
 
 	mu    sync.Mutex
 	insts map[string]*algoInstance
@@ -104,16 +119,20 @@ func (r *Registry) Add(name string, src Source) (*GraphEntry, error) {
 // AddCOO registers already-parsed adjacency triples under name — the upload
 // path, where the edges arrived in the request body rather than from a
 // Source. The entry lazily builds per-algorithm property graphs and workspace
-// pools exactly like a Source-loaded graph.
+// pools exactly like a Source-loaded graph. The triples are normalized in
+// place into the canonical master form (every builder deduplicates the same
+// way, so results are unchanged); edge updates then apply by linear merge.
 func (r *Registry) AddCOO(name, source string, adj *sparse.COO[float32]) (*GraphEntry, error) {
 	if name == "" || strings.ContainsAny(name, "\x00/") {
 		return nil, fmt.Errorf("invalid graph name %q", name)
 	}
+	graph.NormalizeAdjacency(adj, r.workers)
 	entry := &GraphEntry{
 		name:       name,
 		source:     source,
 		adj:        adj,
 		partitions: r.partitions,
+		workers:    r.workers,
 		insts:      make(map[string]*algoInstance),
 	}
 	r.mu.Lock()
@@ -173,11 +192,101 @@ func (g *GraphEntry) Name() string { return g.name }
 // Source describes where the graph came from.
 func (g *GraphEntry) Source() string { return g.source }
 
-// NumVertices reports the raw graph's vertex count.
-func (g *GraphEntry) NumVertices() uint32 { return g.adj.NRows }
+// NumVertices reports the raw graph's vertex count (fixed across updates).
+func (g *GraphEntry) NumVertices() uint32 {
+	g.adjMu.RLock()
+	defer g.adjMu.RUnlock()
+	return g.adj.NRows
+}
 
-// NumEdges reports the raw edge count (before per-algorithm preprocessing).
-func (g *GraphEntry) NumEdges() int { return g.adj.NNZ() }
+// NumEdges reports the current raw edge count (before per-algorithm
+// preprocessing).
+func (g *GraphEntry) NumEdges() int {
+	g.adjMu.RLock()
+	defer g.adjMu.RUnlock()
+	return g.adj.NNZ()
+}
+
+// Epoch reports the entry's raw edge-set version: 0 at registration, +1 per
+// applied update batch. Instances built after updates landed start life
+// already containing them (their own store epochs count batches applied to
+// the instance, not the entry).
+func (g *GraphEntry) Epoch() uint64 {
+	g.adjMu.RLock()
+	defer g.adjMu.RUnlock()
+	return g.epoch
+}
+
+// UpdatesApplied reports the total raw edge updates the entry has absorbed.
+func (g *GraphEntry) UpdatesApplied() int64 {
+	g.adjMu.RLock()
+	defer g.adjMu.RUnlock()
+	return g.updates
+}
+
+// ApplyEdges applies one batch of raw edge updates to the entry: the master
+// adjacency advances one epoch and every BUILT per-algorithm property graph
+// receives the batch through its own preprocessing (a new store snapshot —
+// queries in flight keep the epoch they pinned; workspace pools survive, as
+// updates never change the vertex count). Instances built later start from
+// the updated master, so built-before and built-after converge on the same
+// edge set; re-application races during a concurrent lazy build are benign
+// because batch application is idempotent (upserts and deletes are
+// last-write-wins). Returns the entry's new epoch and per-instance results.
+func (g *GraphEntry) ApplyEdges(batch []algorithms.EdgeUpdate) (uint64, map[string]graphmat.ApplyResult, error) {
+	g.updMu.Lock()
+	defer g.updMu.Unlock()
+
+	g.adjMu.RLock()
+	cur := g.adj
+	g.adjMu.RUnlock()
+	next, err := graph.ApplyToAdjacency(cur, batch)
+	if err != nil {
+		return 0, nil, err
+	}
+	// Ordering matters for the epoch-keyed result cache: the master swaps
+	// first (lazy instance builds and lookups must see the post-batch edge
+	// set), the ENTRY EPOCH advances LAST, after every built instance has
+	// the batch. A run that reads the new epoch therefore always pins a
+	// post-batch snapshot, so nothing stale can ever be cached under the
+	// new epoch's key. The reverse window is benign: a run that read the
+	// OLD epoch may cache a result of either side of the batch under the
+	// old key, which becomes unreachable the moment the epoch advances and
+	// is swept by the caller's invalidation.
+	g.adjMu.Lock()
+	g.adj = next
+	g.adjMu.Unlock()
+
+	lookup := algorithms.NewRawEdgeLookup(next)
+	g.mu.Lock()
+	insts := make(map[string]*algoInstance, len(g.insts))
+	for n, ai := range g.insts {
+		insts[n] = ai
+	}
+	g.mu.Unlock()
+	results := make(map[string]graphmat.ApplyResult, len(insts))
+	var fanErr error
+	for name, ai := range insts {
+		res, err := ai.inst.ApplyUpdates(batch, lookup)
+		if err != nil {
+			// The master already advanced and earlier instances applied;
+			// surface the divergence loudly rather than hiding it, but
+			// still advance the epoch below — the raw edge set DID change,
+			// and leaving the epoch behind would let post-batch results be
+			// cached under the old key forever. (With ids validated by
+			// ApplyToAdjacency above, translation cannot fail in practice.)
+			fanErr = fmt.Errorf("applying updates to %s/%s: %w", g.name, name, err)
+			break
+		}
+		results[name] = res
+	}
+	g.adjMu.Lock()
+	g.epoch++
+	g.updates += int64(len(batch))
+	epoch := g.epoch
+	g.adjMu.Unlock()
+	return epoch, results, fanErr
+}
 
 // BuiltAlgorithms returns the algorithms with a built property graph, sorted.
 func (g *GraphEntry) BuiltAlgorithms() []string {
@@ -204,7 +313,10 @@ func (g *GraphEntry) instance(algo string) (*algoInstance, error) {
 	if ai, ok := g.insts[algo]; ok {
 		return ai, nil
 	}
-	inst, err := spec.Build(g.adj.Clone(), g.partitions)
+	g.adjMu.RLock()
+	adj := g.adj.Clone()
+	g.adjMu.RUnlock()
+	inst, err := spec.Build(adj, g.partitions)
 	if err != nil {
 		return nil, fmt.Errorf("building %s graph for %s: %w", algo, g.name, err)
 	}
@@ -267,10 +379,15 @@ func (g *GraphEntry) RunContext(ctx context.Context, algo string, p algorithms.P
 type AlgoStats struct {
 	Runs int64 `json:"runs"`
 	// WorkspaceAllocs counts workspaces the pool actually created; runs
-	// beyond this number reused pooled scratch.
+	// beyond this number reused pooled scratch. Pools survive edge updates
+	// (the vertex count is fixed), so this should stay flat under update
+	// traffic.
 	WorkspaceAllocs int64          `json:"workspace_allocs"`
 	Engine          graphmat.Stats `json:"engine"`
 	Counters        counters.Set   `json:"counters"`
+	// Store is the instance's versioned-store view: snapshot epoch, overlay
+	// size, compactions, pinned snapshots.
+	Store graphmat.StoreStats `json:"store"`
 }
 
 // Stats snapshots the per-algorithm tallies for this graph.
@@ -292,6 +409,7 @@ func (g *GraphEntry) Stats() map[string]AlgoStats {
 			WorkspaceAllocs: ai.allocs.Load(),
 			Engine:          engine,
 			Counters:        counterSet(engine, wall),
+			Store:           ai.inst.StoreStats(),
 		}
 	}
 	return out

@@ -84,6 +84,7 @@ func New(cfg Config) *Server {
 	s.handle("POST /graphs", s.handleAddGraph)
 	s.handle("GET /graphs/{name}", s.handleGetGraph)
 	s.handle("DELETE /graphs/{name}", s.handleDeleteGraph)
+	s.handle("POST /graphs/{name}/edges", s.handleUpdateEdges)
 	s.handle("POST /graphs/{name}/run/{algo}", s.handleRun)
 	return s
 }
@@ -145,11 +146,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // graphInfo is the JSON view of one registered graph.
 type graphInfo struct {
-	Name     string   `json:"name"`
-	Source   string   `json:"source"`
-	Vertices uint32   `json:"vertices"`
-	Edges    int      `json:"edges"`
-	Built    []string `json:"built_algorithms,omitempty"`
+	Name     string `json:"name"`
+	Source   string `json:"source"`
+	Vertices uint32 `json:"vertices"`
+	Edges    int    `json:"edges"`
+	// Epoch is the graph's edge-set version: 0 at registration, +1 per
+	// applied update batch.
+	Epoch uint64   `json:"epoch"`
+	Built []string `json:"built_algorithms,omitempty"`
 }
 
 func infoOf(g *GraphEntry) graphInfo {
@@ -158,6 +162,7 @@ func infoOf(g *GraphEntry) graphInfo {
 		Source:   g.Source(),
 		Vertices: g.NumVertices(),
 		Edges:    g.NumEdges(),
+		Epoch:    g.Epoch(),
 		Built:    g.BuiltAlgorithms(),
 	}
 }
@@ -270,6 +275,86 @@ func (s *Server) handleUploadGraph(w http.ResponseWriter, r *http.Request, forma
 		return
 	}
 	writeJSON(w, http.StatusCreated, infoOf(entry))
+}
+
+// updateResponse is the POST /graphs/{name}/edges reply.
+type updateResponse struct {
+	Graph string `json:"graph"`
+	// Epoch is the graph's new edge-set version.
+	Epoch uint64 `json:"epoch"`
+	// Updates is the raw batch size accepted.
+	Updates    int     `json:"updates"`
+	DurationMS float64 `json:"duration_ms"`
+	// Instances reports what the batch did to each built property graph
+	// (inserted/deleted/updated counts are post-preprocessing, so a raw
+	// insert can appear as two symmetrized property edges).
+	Instances map[string]graphmat.ApplyResult `json:"instances"`
+}
+
+// handleUpdateEdges is the live-update endpoint: the body is an edge-update
+// batch — NDJSON ({"src","dst","weight","del"} per line) or the text form
+// ([add|del] src dst [weight]); ?format=ndjson|edgelist overrides the
+// first-byte sniff. The batch lands atomically: the master adjacency
+// advances one epoch, every built algorithm instance receives the batch
+// through its own preprocessing, and cached results of older epochs are
+// dropped. Queries running while the batch lands finish on the snapshot
+// they pinned.
+func (s *Server) handleUpdateEdges(w http.ResponseWriter, r *http.Request) {
+	g, err := s.reg.Get(r.PathValue("name"))
+	if err != nil {
+		writeError(w, errorCode(err), "%v", err)
+		return
+	}
+	maxBytes := s.cfg.MaxUploadBytes
+	if maxBytes <= 0 {
+		maxBytes = defaultMaxUpload
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBytes))
+	if err != nil {
+		code := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, code, "reading update batch: %v", err)
+		return
+	}
+	var batch []graphmat.EdgeUpdate
+	switch format := strings.ToLower(r.URL.Query().Get("format")); format {
+	case "":
+		batch, err = graph.ParseUpdates(body)
+	case "ndjson", "json":
+		batch, err = graph.ParseUpdatesNDJSON(body)
+	case "edgelist", "txt", "el":
+		batch, err = graph.ParseUpdateList(body)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown update format %q (want ndjson or edgelist)", format)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parsing update batch: %v", err)
+		return
+	}
+	if len(batch) == 0 {
+		writeError(w, http.StatusBadRequest, "update batch is empty")
+		return
+	}
+	start := time.Now()
+	epoch, results, err := g.ApplyEdges(batch)
+	// Older epochs' cached results are unreachable already (the epoch is in
+	// the cache key); the sweep keeps them from squatting in the LRU.
+	s.cache.invalidateGraph(g.Name())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, updateResponse{
+		Graph:      g.Name(),
+		Epoch:      epoch,
+		Updates:    len(batch),
+		DurationMS: ms(time.Since(start)),
+		Instances:  results,
+	})
 }
 
 func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
@@ -390,7 +475,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := cacheKey(name, algo, params)
+	// The epoch read here keys the cache: a batch landing after this point
+	// changes the epoch, so the result computed below would be published
+	// under a key no future reader of the new epoch consults — and the
+	// post-run epoch check drops it entirely rather than cache a result
+	// whose provenance is ambiguous.
+	epoch := g.Epoch()
+	key := cacheKey(name, epoch, algo, params)
 	if res, ok := s.cache.get(key); ok {
 		writeJSON(w, http.StatusOK, runResponse{Graph: name, Algorithm: algo, Cached: true, Result: res})
 		return
@@ -406,8 +497,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// liveness check comes AFTER the put — if a concurrent delete's
 	// invalidation raced between our put and this check, Has is false and
 	// we invalidate again; checking before the put would leave a window
-	// where the stale entry survives.
-	s.cache.put(key, res)
+	// where the stale entry survives. An epoch moved by a concurrent update
+	// batch skips the put the same way.
+	if g.Epoch() == epoch {
+		s.cache.put(key, res)
+	}
 	if !s.reg.Has(g) {
 		s.cache.invalidateGraph(name)
 	}
@@ -468,6 +562,7 @@ func (s *Server) streamRun(ctx context.Context, w http.ResponseWriter, g *GraphE
 	}
 
 	start := time.Now()
+	epoch := g.Epoch()
 	res, err := g.RunContext(ctx, algo, params, func(info graphmat.IterationInfo) error {
 		return writeLine(streamProgress{
 			Iteration:  info.Iteration,
@@ -482,7 +577,9 @@ func (s *Server) streamRun(ctx context.Context, w http.ResponseWriter, g *GraphE
 		_ = writeLine(map[string]string{"error": err.Error(), "reason": res.Stats.Reason.String()})
 		return
 	}
-	s.cache.put(cacheKey(name, algo, params), res)
+	if g.Epoch() == epoch {
+		s.cache.put(cacheKey(name, epoch, algo, params), res)
+	}
 	if !s.reg.Has(g) {
 		s.cache.invalidateGraph(name)
 	}
@@ -494,6 +591,20 @@ func (s *Server) streamRun(ctx context.Context, w http.ResponseWriter, g *GraphE
 	})
 }
 
+// GraphStats is the /stats view of one registered graph: its edge-set
+// version, update traffic, and the per-algorithm tallies.
+type GraphStats struct {
+	// Epoch is the graph's edge-set version (0 at registration, +1 per
+	// update batch).
+	Epoch uint64 `json:"epoch"`
+	// UpdatesApplied counts raw edge updates absorbed over the graph's
+	// lifetime.
+	UpdatesApplied int64 `json:"updates_applied"`
+	// Algorithms is the per-(graph, algorithm) view, including each
+	// instance's versioned-store counters.
+	Algorithms map[string]AlgoStats `json:"algorithms"`
+}
+
 // statsResponse is the GET /stats reply.
 type statsResponse struct {
 	UptimeSeconds float64          `json:"uptime_seconds"`
@@ -501,9 +612,9 @@ type statsResponse struct {
 	// ModeRuns counts /run requests by requested kernel mode; the engine-
 	// side view (supersteps actually pushed vs pulled, including how Auto
 	// resolved) is in each graph's per-algorithm engine stats.
-	ModeRuns map[string]int64                `json:"mode_runs"`
-	Cache    cacheStats                      `json:"cache"`
-	Graphs   map[string]map[string]AlgoStats `json:"graphs"`
+	ModeRuns map[string]int64      `json:"mode_runs"`
+	Cache    cacheStats            `json:"cache"`
+	Graphs   map[string]GraphStats `json:"graphs"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -518,10 +629,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.epMu.Unlock()
 
-	graphs := make(map[string]map[string]AlgoStats)
+	graphs := make(map[string]GraphStats)
 	for _, n := range s.reg.Names() {
 		if g, err := s.reg.Get(n); err == nil {
-			graphs[n] = g.Stats()
+			graphs[n] = GraphStats{
+				Epoch:          g.Epoch(),
+				UpdatesApplied: g.UpdatesApplied(),
+				Algorithms:     g.Stats(),
+			}
 		}
 	}
 	writeJSON(w, http.StatusOK, statsResponse{

@@ -381,9 +381,9 @@ func TestStatsEndpoint(t *testing.T) {
 		t.Fatalf("GET /stats = %d", code)
 	}
 	var stats struct {
-		UptimeSeconds float64                         `json:"uptime_seconds"`
-		Requests      map[string]int64                `json:"requests"`
-		Graphs        map[string]map[string]AlgoStats `json:"graphs"`
+		UptimeSeconds float64               `json:"uptime_seconds"`
+		Requests      map[string]int64      `json:"requests"`
+		Graphs        map[string]GraphStats `json:"graphs"`
 	}
 	if err := json.Unmarshal(body, &stats); err != nil {
 		t.Fatal(err)
@@ -394,11 +394,14 @@ func TestStatsEndpoint(t *testing.T) {
 	if stats.Requests["POST /graphs"] != 1 {
 		t.Fatalf("register tally = %v", stats.Requests)
 	}
-	pr := stats.Graphs["g"]["pagerank"]
+	if stats.Graphs["g"].Epoch != 0 || stats.Graphs["g"].UpdatesApplied != 0 {
+		t.Fatalf("pristine graph reports update traffic: %+v", stats.Graphs["g"])
+	}
+	pr := stats.Graphs["g"].Algorithms["pagerank"]
 	if pr.Runs != 1 || pr.Engine.Iterations != 5 || pr.Counters.WorkItems == 0 {
 		t.Fatalf("pagerank stats = %+v", pr)
 	}
-	bfs := stats.Graphs["g"]["bfs"]
+	bfs := stats.Graphs["g"].Algorithms["bfs"]
 	if bfs.Runs != 1 || bfs.Engine.EdgesProcessed == 0 {
 		t.Fatalf("bfs stats = %+v", bfs)
 	}
