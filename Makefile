@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt lint staticcheck test race bench bench-engine bench-store fuzz ci
+.PHONY: all build fmt lint staticcheck test race bench bench-engine bench-store bench-multi fuzz ci
 
 all: build
 
@@ -61,5 +61,10 @@ bench-engine:
 # compaction, behind BENCH_store.json. Real measurement (1s per case).
 bench-store:
 	$(GO) test -bench='^(BenchmarkApplyEdges|BenchmarkCompaction)' -benchtime=1s -run='^$$' .
+
+# The multi-source block-run baseline: k ∈ {1, 8, 32} sources per batched
+# BFS/PPR run, behind BENCH_multi.json. Real measurement (1s per case).
+bench-multi:
+	$(GO) test -bench='^(BenchmarkBatchBFS|BenchmarkBatchPPR)' -benchtime=1s -run='^$$' .
 
 ci: build lint test race fuzz bench

@@ -1,0 +1,149 @@
+package algorithms
+
+import (
+	"context"
+	"testing"
+
+	"graphmat"
+	"graphmat/internal/gen"
+)
+
+// The batch-layer differential — the tentpole's acceptance bar: for EVERY
+// batchable algorithm × {Pull, Push, Auto} × {as-built graph, delta-overlay
+// snapshot}, a k-source RunBatch must be bit-identical per source to k
+// single-source Run calls. The scalar engine is the oracle (its own
+// differential suite pins it across modes), so one scalar sweep per source
+// serves as the reference for every batched mode.
+
+func TestBatchDifferentialAllModes(t *testing.T) {
+	baseAdj := gen.RMAT(gen.RMATOptions{Scale: 10, EdgeFactor: 8, Seed: 42, MaxWeight: 10})
+	n := baseAdj.NRows
+	batches := updateBatches(n)
+
+	master := baseAdj.Clone()
+	graphmat.NormalizeAdjacency(master, 0)
+	var err error
+	for _, b := range batches {
+		if master, err = graphmat.ApplyToAdjacency(master, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lookup := NewRawEdgeLookup(master)
+
+	sources := []uint32{0, 1, 3, 17, 42, 100, 255, 511, 700, 900, 1023, 2}
+	batchParams := map[string]Params{
+		"bfs":          {Sources: sources},
+		"sssp":         {Sources: sources},
+		"ppr":          {Sources: sources, Iterations: 15},
+		"reachability": {Sources: sources},
+		"widest":       {Sources: sources},
+	}
+
+	for _, algo := range Names() {
+		spec, _ := Lookup(algo)
+		bp, batchable := batchParams[algo]
+		if spec.Batchable != batchable {
+			t.Fatalf("%s: Batchable=%v but differential matrix says %v", algo, spec.Batchable, batchable)
+		}
+		if !batchable {
+			// Non-batchable algorithms must refuse cleanly.
+			inst, err := spec.Build(baseAdj.Clone(), 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := inst.RunBatch(context.Background(), Params{}, nil); err != ErrBatchUnsupported {
+				t.Fatalf("%s: RunBatch error = %v, want ErrBatchUnsupported", algo, err)
+			}
+			continue
+		}
+		t.Run(algo, func(t *testing.T) {
+			// Two property-graph states: the as-built base and a snapshot
+			// with applied update batches still living in the delta overlay.
+			base, err := spec.Build(baseAdj.Clone(), 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			updated, err := spec.Build(baseAdj.Clone(), 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range batches {
+				if _, err := updated.ApplyUpdates(b, lookup); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if st := updated.StoreStats(); st.Compactions != 0 {
+				t.Fatalf("updates unexpectedly compacted away the overlay: %+v", st)
+			}
+			for name, inst := range map[string]Instance{"base": base, "overlay": updated} {
+				wantEpoch := inst.Epoch()
+				// Scalar oracle: one single-source run per source.
+				oracle := make([][]float64, len(sources))
+				for i, src := range sources {
+					sp := bp
+					sp.Sources = nil
+					sp.Source = src
+					res, err := inst.Run(sp, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					oracle[i] = res.Values
+				}
+				for _, mode := range []graphmat.Mode{graphmat.Pull, graphmat.Push, graphmat.Auto} {
+					p := bp
+					p.Mode = mode
+					got, err := inst.RunBatch(context.Background(), p, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got.Epoch != wantEpoch {
+						t.Fatalf("%s mode %s: batch epoch %d, want %d", name, mode, got.Epoch, wantEpoch)
+					}
+					if len(got.Values) != len(sources) {
+						t.Fatalf("%s mode %s: %d value series for %d sources", name, mode, len(got.Values), len(sources))
+					}
+					for i := range sources {
+						if len(got.Values[i]) != len(oracle[i]) {
+							t.Fatalf("%s mode %s source %d: series length %d vs %d", name, mode, sources[i], len(got.Values[i]), len(oracle[i]))
+						}
+						for v := range oracle[i] {
+							if got.Values[i][v] != oracle[i][v] {
+								t.Fatalf("%s mode %s source %d: value[%d] = %v, want %v",
+									name, mode, sources[i], v, got.Values[i][v], oracle[i][v])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchWideSplit runs a batch wider than one block (k > 64), asserting
+// the word-sized chunking reassembles per-source results in order.
+func TestBatchWideSplit(t *testing.T) {
+	adj := gen.RMAT(gen.RMATOptions{Scale: 8, EdgeFactor: 8, Seed: 3, MaxWeight: 7})
+	g, err := NewBFSGraph(adj, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := make([]uint32, 100)
+	for i := range sources {
+		sources[i] = uint32((i * 37) % 256)
+	}
+	dists, _, err := RunBFSBatch(context.Background(), g, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, src := range sources {
+		oracle, _, err := RunBFS(context.Background(), g, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range oracle {
+			if dists[i][v] != oracle[v] {
+				t.Fatalf("source %d (batch index %d): dist[%d] = %d, want %d", src, i, v, dists[i][v], oracle[v])
+			}
+		}
+	}
+}

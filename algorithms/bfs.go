@@ -33,6 +33,17 @@ func (BFSProgram) Apply(r uint32, _ graphmat.VertexID, prop *uint32) bool {
 	return false
 }
 
+// Mul is ProcessMessage as a destination-free semiring multiply: the hop
+// count never reads the destination, so one edge traversal can serve every
+// source column of a multi-source block run.
+func (BFSProgram) Mul(m uint32, _ float32) uint32 { return m + 1 }
+
+// Add is Reduce under its semiring name.
+func (BFSProgram) Add(a, b uint32) uint32 { return min(a, b) }
+
+// Identity is the fold's neutral element: an unreached distance.
+func (BFSProgram) Identity() uint32 { return Unreached }
+
 // Direction scatters along out-edges (BFS inputs are symmetrized, §5.1).
 func (BFSProgram) Direction() graphmat.Direction { return graphmat.Out }
 
@@ -63,6 +74,8 @@ func NewBFSStore(adj *graphmat.COO[float32], partitions int) (*graphmat.Store[ui
 
 // BFS computes hop distances from root on a graph built by NewBFSGraph.
 // Unreachable vertices report Unreached.
+//
+// Deprecated: use RunBFS with WithConfig.
 func BFS(g *graphmat.Graph[uint32, float32], root uint32, cfg graphmat.Config) ([]uint32, graphmat.Stats) {
 	ws := graphmat.NewWorkspace[uint32, uint32](int(g.NumVertices()), cfg.Vector)
 	dist, stats, err := BFSWithWorkspace(g, root, cfg, ws)
@@ -74,6 +87,8 @@ func BFS(g *graphmat.Graph[uint32, float32], root uint32, cfg graphmat.Config) (
 
 // BFSWithWorkspace is BFS with caller-managed engine scratch for repeated
 // traversals on one graph.
+//
+// Deprecated: use RunBFS with WithWorkspace.
 func BFSWithWorkspace(g *graphmat.Graph[uint32, float32], root uint32, cfg graphmat.Config, ws *graphmat.Workspace[uint32, uint32]) ([]uint32, graphmat.Stats, error) {
 	return BFSContext(context.Background(), g, root, cfg, ws, nil)
 }
@@ -82,6 +97,9 @@ func BFSWithWorkspace(g *graphmat.Graph[uint32, float32], root uint32, cfg graph
 // traversal cooperatively, obs (when non-nil) receives one report per
 // superstep. A stopped run returns the partial distances reached so far
 // together with the stop cause; Stats.Reason classifies the ending.
+//
+// Deprecated: use RunBFS with WithObserver; this remains the implementation
+// behind it.
 func BFSContext(ctx context.Context, g *graphmat.Graph[uint32, float32], root uint32, cfg graphmat.Config, ws *graphmat.Workspace[uint32, uint32], obs Observer) ([]uint32, graphmat.Stats, error) {
 	g.SetAllProps(Unreached)
 	g.SetProp(root, 0)

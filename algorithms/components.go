@@ -61,6 +61,8 @@ func NewCCStore(adj *graphmat.COO[float32], partitions int) (*graphmat.Store[uin
 
 // ConnectedComponents labels every vertex with the smallest vertex id in its
 // component.
+//
+// Deprecated: use RunConnectedComponents.
 func ConnectedComponents(g *graphmat.Graph[uint32, float32], cfg graphmat.Config) ([]uint32, graphmat.Stats) {
 	ws := graphmat.NewWorkspace[uint32, uint32](int(g.NumVertices()), cfg.Vector)
 	labels, stats, err := ConnectedComponentsWithWorkspace(g, cfg, ws)
@@ -72,6 +74,8 @@ func ConnectedComponents(g *graphmat.Graph[uint32, float32], cfg graphmat.Config
 
 // ConnectedComponentsWithWorkspace is ConnectedComponents with
 // caller-managed engine scratch for repeated runs on one graph.
+//
+// Deprecated: use RunConnectedComponents with WithWorkspace.
 func ConnectedComponentsWithWorkspace(g *graphmat.Graph[uint32, float32], cfg graphmat.Config, ws *graphmat.Workspace[uint32, uint32]) ([]uint32, graphmat.Stats, error) {
 	return ConnectedComponentsContext(context.Background(), g, cfg, ws, nil)
 }
@@ -79,6 +83,9 @@ func ConnectedComponentsWithWorkspace(g *graphmat.Graph[uint32, float32], cfg gr
 // ConnectedComponentsContext is ConnectedComponents as a cancelable,
 // observable session; see BFSContext for the contract. A stopped run returns
 // the partially propagated labels.
+//
+// Deprecated: use RunConnectedComponents with WithObserver; this remains
+// the implementation behind it.
 func ConnectedComponentsContext(ctx context.Context, g *graphmat.Graph[uint32, float32], cfg graphmat.Config, ws *graphmat.Workspace[uint32, uint32], obs Observer) ([]uint32, graphmat.Stats, error) {
 	g.InitProps(func(v uint32) uint32 { return v })
 	g.SetAllActive()

@@ -73,6 +73,8 @@ func NewHITSStore(adj *graphmat.COO[float32], partitions int) (*graphmat.Store[H
 // HITS computes hub and authority scores with iterations of the two
 // half-steps, L2-normalizing after each (the standard formulation). Returns
 // the final scores indexed by vertex.
+//
+// Deprecated: use RunHITS with WithIterations.
 func HITS(g *graphmat.Graph[HITSVertex, float32], opt HITSOptions) ([]HITSVertex, graphmat.Stats) {
 	ws := graphmat.NewWorkspace[float64, float64](int(g.NumVertices()), opt.Config.Vector)
 	out, stats, err := HITSWithWorkspace(g, opt, ws)
@@ -85,6 +87,8 @@ func HITS(g *graphmat.Graph[HITSVertex, float32], opt HITSOptions) ([]HITSVertex
 // HITSWithWorkspace is HITS with caller-managed engine scratch for repeated
 // runs on one graph. Both half-steps carry float64 messages, so one
 // workspace serves the whole run.
+//
+// Deprecated: use RunHITS with WithWorkspace.
 func HITSWithWorkspace(g *graphmat.Graph[HITSVertex, float32], opt HITSOptions, ws *graphmat.Workspace[float64, float64]) ([]HITSVertex, graphmat.Stats, error) {
 	return HITSContext(context.Background(), g, opt, ws, nil)
 }
@@ -93,6 +97,9 @@ func HITSWithWorkspace(g *graphmat.Graph[HITSVertex, float32], opt HITSOptions, 
 // one report per engine superstep — two per HITS iteration (the authority
 // half-step, then the hub half-step). A stopped run returns the scores as of
 // the stop together with the stop cause.
+//
+// Deprecated: use RunHITS with WithObserver; this remains the
+// implementation behind it.
 func HITSContext(ctx context.Context, g *graphmat.Graph[HITSVertex, float32], opt HITSOptions, ws *graphmat.Workspace[float64, float64], obs Observer) ([]HITSVertex, graphmat.Stats, error) {
 	iters := opt.Iterations
 	if iters <= 0 {

@@ -101,6 +101,9 @@ func NewPageRankStore(adj *graphmat.COO[float32], partitions int) (*graphmat.Sto
 // PageRank likewise has every vertex participating each iteration — that is
 // why Figure 4a can report a stable time per iteration). Convergence is
 // detected when no vertex's rank moves beyond Tolerance.
+//
+// Deprecated: use RunPageRank with WithIterations/WithTolerance/
+// WithRestartProb.
 func PageRank(g *graphmat.Graph[PRVertex, float32], opt PageRankOptions) ([]float64, graphmat.Stats) {
 	// One workspace across the whole superstep loop (graph_program_init in
 	// the paper's appendix): avoids two vertex-sized allocations per step.
@@ -115,6 +118,8 @@ func PageRank(g *graphmat.Graph[PRVertex, float32], opt PageRankOptions) ([]floa
 // PageRankWithWorkspace is PageRank with caller-managed engine scratch, for
 // drivers (like the analytics server) that run back-to-back queries on one
 // graph and want to reuse the workspace instead of reallocating it.
+//
+// Deprecated: use RunPageRank with WithWorkspace.
 func PageRankWithWorkspace(g *graphmat.Graph[PRVertex, float32], opt PageRankOptions, ws *graphmat.Workspace[float64, float64]) ([]float64, graphmat.Stats, error) {
 	return PageRankContext(context.Background(), g, opt, ws, nil)
 }
@@ -124,6 +129,9 @@ func PageRankWithWorkspace(g *graphmat.Graph[PRVertex, float32], opt PageRankOpt
 // obs, when non-nil, receives one report per superstep. On a stopped run the
 // returned ranks are the partial state at the stop and the error is the stop
 // cause; Stats.Reason classifies how the run ended either way.
+//
+// Deprecated: use RunPageRank with WithObserver; this remains the
+// implementation behind it.
 func PageRankContext(ctx context.Context, g *graphmat.Graph[PRVertex, float32], opt PageRankOptions, ws *graphmat.Workspace[float64, float64], obs Observer) ([]float64, graphmat.Stats, error) {
 	opt = opt.withDefaults()
 	g.InitProps(func(v uint32) PRVertex {

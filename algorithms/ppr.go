@@ -51,6 +51,18 @@ func (p PersonalizedPageRankProgram) Apply(sum float64, _ graphmat.VertexID, pro
 	return changed
 }
 
+// Mul is ProcessMessage as a destination-free semiring multiply (the
+// (+, ×) fold with the × already folded into the message), qualifying PPR
+// for multi-source block runs.
+func (PersonalizedPageRankProgram) Mul(m float64, _ float32) float64 { return m }
+
+// Add is Reduce under its semiring name.
+func (PersonalizedPageRankProgram) Add(a, b float64) float64 { return a + b }
+
+// Identity is the fold's neutral element (never fed to Add by the kernels,
+// so the IEEE 0 + -0 subtlety cannot arise).
+func (PersonalizedPageRankProgram) Identity() float64 { return 0 }
+
 // Direction scatters rank along out-edges.
 func (PersonalizedPageRankProgram) Direction() graphmat.Direction { return graphmat.Out }
 
@@ -61,6 +73,8 @@ func (PersonalizedPageRankProgram) ProcessIgnoresDst() {}
 // The graph must be built with NewPersonalizedPageRankGraph (or any
 // Graph[PPRVertex, float32]). Ranks are a probability distribution over
 // vertices (they sum to ~1 on source-reachable graphs).
+//
+// Deprecated: use RunPersonalizedPageRank.
 func PersonalizedPageRank(g *graphmat.Graph[PPRVertex, float32], sources []uint32, opt PageRankOptions) ([]float64, graphmat.Stats) {
 	ws := graphmat.NewWorkspace[float64, float64](int(g.NumVertices()), opt.Config.Vector)
 	ranks, stats, err := PersonalizedPageRankWithWorkspace(g, sources, opt, ws)
@@ -72,12 +86,17 @@ func PersonalizedPageRank(g *graphmat.Graph[PPRVertex, float32], sources []uint3
 
 // PersonalizedPageRankWithWorkspace is PersonalizedPageRank with
 // caller-managed engine scratch for repeated queries on one graph.
+//
+// Deprecated: use RunPersonalizedPageRank with WithWorkspace.
 func PersonalizedPageRankWithWorkspace(g *graphmat.Graph[PPRVertex, float32], sources []uint32, opt PageRankOptions, ws *graphmat.Workspace[float64, float64]) ([]float64, graphmat.Stats, error) {
 	return PersonalizedPageRankContext(context.Background(), g, sources, opt, ws, nil)
 }
 
 // PersonalizedPageRankContext is PersonalizedPageRank as a cancelable,
 // observable session; see PageRankContext for the contract.
+//
+// Deprecated: use RunPersonalizedPageRank with WithObserver; this remains
+// the implementation behind it.
 func PersonalizedPageRankContext(ctx context.Context, g *graphmat.Graph[PPRVertex, float32], sources []uint32, opt PageRankOptions, ws *graphmat.Workspace[float64, float64], obs Observer) ([]float64, graphmat.Stats, error) {
 	opt = opt.withDefaults()
 	perSource := opt.RestartProb / float64(len(sources))

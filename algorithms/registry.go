@@ -122,6 +122,15 @@ type Instance interface {
 	// returns the error alongside a Result whose Stats.Reason records the
 	// stop cause.
 	RunContext(ctx context.Context, p Params, scratch any, obs Observer) (Result, error)
+	// RunBatch executes the algorithm once per source in p.Sources (falling
+	// back to {p.Source} when empty) as one multi-source block run on one
+	// pinned snapshot: per-source results are bit-identical to the
+	// corresponding single-source Run calls, but chunks of up to
+	// graphmat.MaxBlockSources sources share each adjacency sweep.
+	// Algorithms with no source parameter return ErrBatchUnsupported (their
+	// Spec says Batchable: false). Like Run, not safe for concurrent use on
+	// one Instance.
+	RunBatch(ctx context.Context, p Params, obs Observer) (BatchResult, error)
 	// NewScratch allocates the reusable engine workspace for this
 	// (algorithm, graph) pair, for callers that pool scratch across runs.
 	NewScratch() any
@@ -147,6 +156,10 @@ type Spec struct {
 	Name        string      `json:"name"`
 	Description string      `json:"description"`
 	Params      []ParamSpec `json:"params"`
+	// Batchable marks algorithms whose Instance supports multi-source
+	// RunBatch (source-parameterized traversals and personalized ranking);
+	// the serving layer only coalesces requests for batchable algorithms.
+	Batchable bool `json:"batchable"`
 	// Build constructs the algorithm's property graph from adjacency
 	// triples, applying the algorithm's preprocessing. The input is
 	// consumed (sorted, deduplicated, possibly symmetrized in place); pass
@@ -322,13 +335,14 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			return &pagerankInstance{liveGraph[PRVertex]{store: st, kind: updDirected}}, nil
+			return &pagerankInstance{liveGraph: liveGraph[PRVertex]{store: st, kind: updDirected}}, nil
 		},
 	})
 	Register(Spec{
 		Name:        "bfs",
 		Description: "breadth-first hop distances on the symmetrized graph",
-		Params:      []ParamSpec{paramSource},
+		Params:      []ParamSpec{paramSource, paramSources},
+		Batchable:   true,
 		Build: func(adj *graphmat.COO[float32], partitions int) (Instance, error) {
 			st, err := NewBFSStore(adj, partitions)
 			if err != nil {
@@ -340,7 +354,8 @@ func init() {
 	Register(Spec{
 		Name:        "sssp",
 		Description: "single-source shortest paths (frontier Bellman-Ford)",
-		Params:      []ParamSpec{paramSource},
+		Params:      []ParamSpec{paramSource, paramSources},
+		Batchable:   true,
 		Build: func(adj *graphmat.COO[float32], partitions int) (Instance, error) {
 			st, err := NewSSSPStore(adj, partitions)
 			if err != nil {
@@ -358,19 +373,46 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			return &componentsInstance{liveGraph[uint32]{store: st, kind: updSymmetric}}, nil
+			return &componentsInstance{liveGraph: liveGraph[uint32]{store: st, kind: updSymmetric}}, nil
 		},
 	})
 	Register(Spec{
 		Name:        "ppr",
 		Description: "personalized PageRank toward a source set",
 		Params:      []ParamSpec{paramSource, paramSources, paramIters, paramTolerance, paramRestart},
+		Batchable:   true,
 		Build: func(adj *graphmat.COO[float32], partitions int) (Instance, error) {
 			st, err := NewPersonalizedPageRankStore(adj, partitions)
 			if err != nil {
 				return nil, err
 			}
 			return &pprInstance{liveGraph[PPRVertex]{store: st, kind: updDirected}}, nil
+		},
+	})
+	Register(Spec{
+		Name:        "reachability",
+		Description: "directed reachability over the boolean (OR, AND) semiring",
+		Params:      []ParamSpec{paramSource, paramSources},
+		Batchable:   true,
+		Build: func(adj *graphmat.COO[float32], partitions int) (Instance, error) {
+			st, err := NewReachabilityStore(adj, partitions)
+			if err != nil {
+				return nil, err
+			}
+			return &reachabilityInstance{liveGraph[uint32]{store: st, kind: updDirected}}, nil
+		},
+	})
+	Register(Spec{
+		Name:        "widest",
+		Description: "widest (bottleneck) paths over the (max, min) semiring",
+		Params:      []ParamSpec{paramSource, paramSources},
+		Batchable:   true,
+		Build: func(adj *graphmat.COO[float32], partitions int) (Instance, error) {
+			st, err := NewWidestPathStore(adj, partitions)
+			if err != nil {
+				return nil, err
+			}
+			return &widestInstance{liveGraph[float32]{store: st, kind: updDirected}}, nil
 		},
 	})
 	Register(Spec{
@@ -382,7 +424,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			return &trianglesInstance{liveGraph[TCVertex]{store: st, kind: updUpperTriangle}}, nil
+			return &trianglesInstance{liveGraph: liveGraph[TCVertex]{store: st, kind: updUpperTriangle}}, nil
 		},
 	})
 	Register(Spec{
@@ -394,7 +436,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			return &hitsInstance{liveGraph[HITSVertex]{store: st, kind: updDirected}}, nil
+			return &hitsInstance{liveGraph: liveGraph[HITSVertex]{store: st, kind: updDirected}}, nil
 		},
 	})
 }
@@ -404,6 +446,24 @@ func checkSource(v uint32, n uint32, what string) error {
 		return fmt.Errorf("%s vertex %d out of range (graph has %d vertices)", what, v, n)
 	}
 	return nil
+}
+
+// noBatch is the RunBatch stub embedded by instances of algorithms with no
+// source parameter to batch over.
+type noBatch struct{}
+
+func (noBatch) RunBatch(context.Context, Params, Observer) (BatchResult, error) {
+	return BatchResult{}, ErrBatchUnsupported
+}
+
+// batchSources resolves the source list of a RunBatch call: p.Sources, with
+// {p.Source} as the single-source fallback so every Run-able parameter set
+// is also RunBatch-able.
+func batchSources(p Params) []uint32 {
+	if len(p.Sources) > 0 {
+		return p.Sources
+	}
+	return []uint32{p.Source}
 }
 
 // typedScratch coerces a pooled scratch value to the instance's workspace
@@ -422,6 +482,7 @@ func typedScratch[T any](scratch any, fresh func() any) (T, error) {
 
 type pagerankInstance struct {
 	liveGraph[PRVertex]
+	noBatch
 }
 
 func (i *pagerankInstance) NewScratch() any {
@@ -496,6 +557,7 @@ func (i *ssspInstance) RunContext(ctx context.Context, p Params, scratch any, ob
 
 type componentsInstance struct {
 	liveGraph[uint32]
+	noBatch
 }
 
 func (i *componentsInstance) NewScratch() any {
@@ -548,6 +610,7 @@ func (i *pprInstance) RunContext(ctx context.Context, p Params, scratch any, obs
 
 type trianglesInstance struct {
 	liveGraph[TCVertex]
+	noBatch
 }
 
 func (i *trianglesInstance) NewScratch() any {
@@ -569,6 +632,7 @@ func (i *trianglesInstance) RunContext(ctx context.Context, p Params, scratch an
 
 type hitsInstance struct {
 	liveGraph[HITSVertex]
+	noBatch
 }
 
 func (i *hitsInstance) NewScratch() any {
@@ -605,4 +669,126 @@ func uintValues(s []uint32) []float64 {
 		out[v] = float64(x)
 	}
 	return out
+}
+
+// RunBatch executes one BFS per source as a single multi-source block run;
+// per-source distances are bit-identical to single-source Run calls.
+func (i *bfsInstance) RunBatch(ctx context.Context, p Params, obs Observer) (BatchResult, error) {
+	sources := batchSources(p)
+	snap := i.store.Acquire()
+	defer snap.Release()
+	dists, stats, err := RunBFSBatch(ctx, snap.Graph(), sources, WithConfig(p.config()), WithObserver(obs))
+	values := make([][]float64, len(dists))
+	for s, d := range dists {
+		values[s] = uintValues(d)
+	}
+	return BatchResult{Sources: sources, Values: values, Stats: stats, Epoch: snap.Epoch()}, err
+}
+
+// RunBatch executes one SSSP per source as a single multi-source block run.
+func (i *ssspInstance) RunBatch(ctx context.Context, p Params, obs Observer) (BatchResult, error) {
+	sources := batchSources(p)
+	snap := i.store.Acquire()
+	defer snap.Release()
+	dists, stats, err := RunSSSPBatch(ctx, snap.Graph(), sources, WithConfig(p.config()), WithObserver(obs))
+	values := make([][]float64, len(dists))
+	for s, d := range dists {
+		row := make([]float64, len(d))
+		for v, x := range d {
+			row[v] = float64(x)
+		}
+		values[s] = row
+	}
+	return BatchResult{Sources: sources, Values: values, Stats: stats, Epoch: snap.Epoch()}, err
+}
+
+// RunBatch executes one single-source personalized PageRank per source as a
+// multi-source block run. Note the semantic difference from Run: Run with k
+// sources computes ONE rank vector personalized to the whole set, RunBatch
+// computes k independent vectors, one per source.
+func (i *pprInstance) RunBatch(ctx context.Context, p Params, obs Observer) (BatchResult, error) {
+	sources := batchSources(p)
+	snap := i.store.Acquire()
+	defer snap.Release()
+	values, stats, err := RunPersonalizedPageRankBatch(ctx, snap.Graph(), sources,
+		WithConfig(p.config()), WithIterations(p.Iterations), WithTolerance(p.Tolerance), WithRestartProb(p.RestartProb), WithObserver(obs))
+	return BatchResult{Sources: sources, Values: values, Stats: stats, Epoch: snap.Epoch()}, err
+}
+
+type reachabilityInstance struct {
+	liveGraph[uint32]
+}
+
+func (i *reachabilityInstance) NewScratch() any {
+	return graphmat.NewWorkspace[uint32, uint32](int(i.NumVertices()), graphmat.Bitvector)
+}
+func (i *reachabilityInstance) Run(p Params, scratch any) (Result, error) {
+	return i.RunContext(context.Background(), p, scratch, nil)
+}
+func (i *reachabilityInstance) RunContext(ctx context.Context, p Params, scratch any, obs Observer) (Result, error) {
+	if err := checkSource(p.Source, i.NumVertices(), "source"); err != nil {
+		return Result{}, err
+	}
+	ws, err := typedScratch[*graphmat.Workspace[uint32, uint32]](scratch, i.NewScratch)
+	if err != nil {
+		return Result{}, err
+	}
+	snap := i.store.Acquire()
+	defer snap.Release()
+	reached, stats, err := RunReachability(ctx, snap.Graph(), p.Source, WithConfig(p.config()), WithWorkspace(ws), WithObserver(obs))
+	return Result{Values: uintValues(reached), Stats: stats, Epoch: snap.Epoch()}, err
+}
+func (i *reachabilityInstance) RunBatch(ctx context.Context, p Params, obs Observer) (BatchResult, error) {
+	sources := batchSources(p)
+	snap := i.store.Acquire()
+	defer snap.Release()
+	flags, stats, err := RunReachabilityBatch(ctx, snap.Graph(), sources, WithConfig(p.config()), WithObserver(obs))
+	values := make([][]float64, len(flags))
+	for s, f := range flags {
+		values[s] = uintValues(f)
+	}
+	return BatchResult{Sources: sources, Values: values, Stats: stats, Epoch: snap.Epoch()}, err
+}
+
+type widestInstance struct {
+	liveGraph[float32]
+}
+
+func (i *widestInstance) NewScratch() any {
+	return graphmat.NewWorkspace[float32, float32](int(i.NumVertices()), graphmat.Bitvector)
+}
+func (i *widestInstance) Run(p Params, scratch any) (Result, error) {
+	return i.RunContext(context.Background(), p, scratch, nil)
+}
+func (i *widestInstance) RunContext(ctx context.Context, p Params, scratch any, obs Observer) (Result, error) {
+	if err := checkSource(p.Source, i.NumVertices(), "source"); err != nil {
+		return Result{}, err
+	}
+	ws, err := typedScratch[*graphmat.Workspace[float32, float32]](scratch, i.NewScratch)
+	if err != nil {
+		return Result{}, err
+	}
+	snap := i.store.Acquire()
+	defer snap.Release()
+	width, stats, err := RunWidestPath(ctx, snap.Graph(), p.Source, WithConfig(p.config()), WithWorkspace(ws), WithObserver(obs))
+	values := make([]float64, len(width))
+	for v, x := range width {
+		values[v] = float64(x)
+	}
+	return Result{Values: values, Stats: stats, Epoch: snap.Epoch()}, err
+}
+func (i *widestInstance) RunBatch(ctx context.Context, p Params, obs Observer) (BatchResult, error) {
+	sources := batchSources(p)
+	snap := i.store.Acquire()
+	defer snap.Release()
+	widths, stats, err := RunWidestPathBatch(ctx, snap.Graph(), sources, WithConfig(p.config()), WithObserver(obs))
+	values := make([][]float64, len(widths))
+	for s, w := range widths {
+		row := make([]float64, len(w))
+		for v, x := range w {
+			row[v] = float64(x)
+		}
+		values[s] = row
+	}
+	return BatchResult{Sources: sources, Values: values, Stats: stats, Epoch: snap.Epoch()}, err
 }

@@ -28,7 +28,7 @@ func buildInstance(t *testing.T, name string) (algorithms.Spec, algorithms.Insta
 }
 
 func TestRegistryNames(t *testing.T) {
-	want := []string{"bfs", "components", "hits", "pagerank", "ppr", "sssp", "triangles"}
+	want := []string{"bfs", "components", "hits", "pagerank", "ppr", "reachability", "sssp", "triangles", "widest"}
 	got := algorithms.Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)

@@ -36,6 +36,16 @@ func (SSSPProgram) Apply(r float32, _ graphmat.VertexID, prop *float32) bool {
 	return false
 }
 
+// Mul is ProcessMessage as a destination-free semiring multiply (the
+// (min, +) tropical semiring), qualifying SSSP for multi-source block runs.
+func (SSSPProgram) Mul(m float32, w float32) float32 { return m + w }
+
+// Add is Reduce under its semiring name.
+func (SSSPProgram) Add(a, b float32) float32 { return min(a, b) }
+
+// Identity is the fold's neutral element: an unreachable distance.
+func (SSSPProgram) Identity() float32 { return InfDist }
+
 // Direction performs path traversals only via out-edges (appendix:
 // "order = OUT_EDGES").
 func (SSSPProgram) Direction() graphmat.Direction { return graphmat.Out }
@@ -60,6 +70,8 @@ func NewSSSPStore(adj *graphmat.COO[float32], partitions int) (*graphmat.Store[f
 
 // SSSP computes shortest-path distances from src on a graph built by
 // NewSSSPGraph. Unreachable vertices report InfDist.
+//
+// Deprecated: use RunSSSP with WithConfig.
 func SSSP(g *graphmat.Graph[float32, float32], src uint32, cfg graphmat.Config) ([]float32, graphmat.Stats) {
 	ws := graphmat.NewWorkspace[float32, float32](int(g.NumVertices()), cfg.Vector)
 	dist, stats, err := SSSPWithWorkspace(g, src, cfg, ws)
@@ -71,12 +83,17 @@ func SSSP(g *graphmat.Graph[float32, float32], src uint32, cfg graphmat.Config) 
 
 // SSSPWithWorkspace is SSSP with caller-managed engine scratch for repeated
 // queries on one graph.
+//
+// Deprecated: use RunSSSP with WithWorkspace.
 func SSSPWithWorkspace(g *graphmat.Graph[float32, float32], src uint32, cfg graphmat.Config, ws *graphmat.Workspace[float32, float32]) ([]float32, graphmat.Stats, error) {
 	return SSSPContext(context.Background(), g, src, cfg, ws, nil)
 }
 
 // SSSPContext is SSSP as a cancelable, observable session; see BFSContext
 // for the contract. A stopped run returns the best distances found so far.
+//
+// Deprecated: use RunSSSP with WithObserver; this remains the implementation
+// behind it.
 func SSSPContext(ctx context.Context, g *graphmat.Graph[float32, float32], src uint32, cfg graphmat.Config, ws *graphmat.Workspace[float32, float32], obs Observer) ([]float32, graphmat.Stats, error) {
 	g.SetAllProps(InfDist)
 	g.SetProp(src, 0)

@@ -112,13 +112,15 @@ func TestStoreDifferentialAllAlgorithmsAllModes(t *testing.T) {
 	equivalent := applyRawBrute(baseAdj, batches)
 
 	params := map[string]Params{
-		"bfs":        {Source: 0},
-		"sssp":       {Source: 0},
-		"pagerank":   {Iterations: 15},
-		"ppr":        {Sources: []uint32{0, 3}, Iterations: 15},
-		"components": {},
-		"triangles":  {},
-		"hits":       {Iterations: 10},
+		"bfs":          {Source: 0},
+		"sssp":         {Source: 0},
+		"pagerank":     {Iterations: 15},
+		"ppr":          {Sources: []uint32{0, 3}, Iterations: 15},
+		"components":   {},
+		"triangles":    {},
+		"hits":         {Iterations: 10},
+		"reachability": {Source: 0},
+		"widest":       {Source: 0},
 	}
 	for _, algo := range Names() {
 		p, ok := params[algo]

@@ -107,6 +107,8 @@ func NewTriangleStore(adj *graphmat.COO[float32], partitions int) (*graphmat.Sto
 // TriangleCount runs the two-phase vertex-program pipeline and returns the
 // number of triangles. Vertex state is reinitialized, so the graph is
 // reusable across runs.
+//
+// Deprecated: use RunTriangleCount.
 func TriangleCount(g *graphmat.Graph[TCVertex, float32], cfg graphmat.Config) (int64, graphmat.Stats) {
 	scratch := NewTriangleScratch(int(g.NumVertices()), cfg.Vector)
 	count, stats, err := TriangleCountWithWorkspace(g, cfg, scratch)
@@ -140,6 +142,8 @@ func (s *TriangleScratch) Reset() {
 
 // TriangleCountWithWorkspace is TriangleCount with caller-managed scratch
 // for repeated counts on one graph.
+//
+// Deprecated: use RunTriangleCount with WithWorkspace.
 func TriangleCountWithWorkspace(g *graphmat.Graph[TCVertex, float32], cfg graphmat.Config, scratch *TriangleScratch) (int64, graphmat.Stats, error) {
 	return TriangleCountContext(context.Background(), g, cfg, scratch, nil)
 }
@@ -147,6 +151,9 @@ func TriangleCountWithWorkspace(g *graphmat.Graph[TCVertex, float32], cfg graphm
 // TriangleCountContext is TriangleCount as a cancelable, observable session.
 // The observer sees one report per phase (the pipeline is two one-superstep
 // vertex programs). A stopped run returns count 0 with the stop cause.
+//
+// Deprecated: use RunTriangleCount with WithObserver; this remains the
+// implementation behind it.
 func TriangleCountContext(ctx context.Context, g *graphmat.Graph[TCVertex, float32], cfg graphmat.Config, scratch *TriangleScratch, obs Observer) (int64, graphmat.Stats, error) {
 	g.SetAllProps(TCVertex{})
 	g.SetAllActive()

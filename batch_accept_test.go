@@ -1,0 +1,107 @@
+package graphmat_test
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"graphmat/algorithms"
+	"graphmat/internal/gen"
+)
+
+// TestBatchPPR18 is the multi-source acceptance test: answering 32
+// personalized-PageRank queries as one block batch on a scale-18 RMAT graph
+// must be ≥4× faster than answering them sequentially at GOMAXPROCS ≥ 8,
+// while every column stays bit-identical to its solo run. The batch shares
+// one adjacency sweep across all still-unconverged personalization vectors
+// per outer iteration, so the win is the paper's SpMV→SpMM amortization —
+// not an approximation. Short mode and race builds scale the graph down
+// (the identity checks still run); the timing gate applies only where the
+// speedup is promised.
+func TestBatchPPR18(t *testing.T) {
+	scale, timed := 18, true
+	if runtime.GOMAXPROCS(0) < 8 || runtime.NumCPU() < 8 {
+		scale, timed = 14, false
+	}
+	if raceEnabled {
+		scale, timed = 12, false
+	}
+	if testing.Short() {
+		scale, timed = 11, false
+	}
+
+	adj := gen.RMAT(gen.RMATOptions{Scale: scale, EdgeFactor: 16, Seed: 20150831})
+	g, err := algorithms.NewPersonalizedPageRankGraph(adj, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 32 sources spread across the vertex range, skipping isolated vertices
+	// so every column does real propagation work.
+	const k = 32
+	n := g.NumVertices()
+	sources := make([]uint32, 0, k)
+	for v := uint32(0); v < n && len(sources) < k; v += n / k {
+		for u := v; u < n; u++ {
+			if g.OutDegree(u) > 0 {
+				sources = append(sources, u)
+				break
+			}
+		}
+	}
+	if len(sources) < k {
+		t.Fatalf("found only %d non-isolated sources", len(sources))
+	}
+
+	ctx := context.Background()
+	opts := []algorithms.Option{algorithms.WithIterations(20)}
+
+	// Warm both paths (scratch allocation) before timing anything.
+	if _, _, err := algorithms.RunPersonalizedPageRank(ctx, g, sources[:1], opts...); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := algorithms.RunPersonalizedPageRankBatch(ctx, g, sources[:2], opts...); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sequential oracle: one engine run per source.
+	seqStart := time.Now()
+	solo := make([][]float64, k)
+	for i, src := range sources {
+		ranks, _, err := algorithms.RunPersonalizedPageRank(ctx, g, []uint32{src}, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo[i] = ranks
+	}
+	seqTime := time.Since(seqStart)
+
+	// Batched path: all k personalization vectors in one block run.
+	batchStart := time.Now()
+	batch, stats, err := algorithms.RunPersonalizedPageRankBatch(ctx, g, sources, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchTime := time.Since(batchStart)
+
+	// Bit-identity per source: batching is a throughput knob, never a
+	// numerical one.
+	for i := range sources {
+		for v := range solo[i] {
+			if math.Float64bits(batch[i][v]) != math.Float64bits(solo[i][v]) {
+				t.Fatalf("source %d rank[%d]: batch %v vs solo %v",
+					sources[i], v, batch[i][v], solo[i][v])
+			}
+		}
+	}
+
+	t.Logf("scale %d (%d procs): %d sequential PPR runs %v; batched %v over %d supersteps (%.1fx)",
+		scale, runtime.GOMAXPROCS(0), k, seqTime, batchTime, stats.Iterations,
+		float64(seqTime)/float64(batchTime))
+	if timed && batchTime*4 > seqTime {
+		t.Errorf("batched PPR %v not ≥4× faster than %d sequential runs %v at GOMAXPROCS=%d",
+			batchTime, k, seqTime, runtime.GOMAXPROCS(0))
+	}
+}

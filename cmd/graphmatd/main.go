@@ -7,17 +7,25 @@
 //
 //	graphmatd -addr :8765 -graph web=data/web.mtx -graph social=rmat:scale=16,edgefactor=16,seed=1
 //
-// Endpoints:
+// Endpoints (all under /v1; the unversioned forms are deprecated aliases
+// answering with a Deprecation header):
 //
-//	GET    /healthz                    liveness
-//	GET    /stats                      per-endpoint, per-algorithm and cache tallies
-//	GET    /algorithms                 available algorithms and their parameters
-//	GET    /graphs                     registered graphs
-//	POST   /graphs                     register a graph: {"name":..., "path":...} or {"name":..., "generator":"rmat", "scale":14, ...}
-//	POST   /graphs?name=N&format=F     upload a graph body (format mtx, edgelist or bin), parsed server-side in parallel
-//	GET    /graphs/{name}              one graph's details
-//	DELETE /graphs/{name}              unregister a graph
-//	POST   /graphs/{name}/run/{algo}   run an algorithm; body holds its parameters
+//	GET    /v1/healthz                    liveness
+//	GET    /v1/stats                      per-endpoint, per-algorithm, cache and batcher tallies
+//	GET    /v1/algorithms                 available algorithms and their parameters
+//	GET    /v1/openapi.json               machine-readable API description
+//	GET    /v1/graphs                     registered graphs
+//	POST   /v1/graphs                     register a graph: {"name":..., "path":...} or {"name":..., "generator":"rmat", "scale":14, ...}
+//	POST   /v1/graphs?name=N&format=F     upload a graph body (format mtx, edgelist or bin), parsed server-side in parallel
+//	GET    /v1/graphs/{name}              one graph's details
+//	DELETE /v1/graphs/{name}              unregister a graph
+//	POST   /v1/graphs/{name}/edges        apply a live edge-update batch
+//	POST   /v1/graphs/{name}/run          unified run: {"algo":..., "sources":[...], "mode":..., "params":{...}, "timeout_ms":..., "stream":...}
+//	POST   /v1/graphs/{name}/run/{algo}   run an algorithm; body holds its parameters
+//
+// Concurrent single-source /v1 run requests for the same (graph, algorithm,
+// epoch, parameters) are coalesced into one multi-source block run within
+// -batch-window, with per-source results fanned back out bit-identically.
 package main
 
 import (
@@ -52,6 +60,7 @@ func main() {
 		partitions = flag.Int("partitions", 0, "matrix partitions per graph build (0 = auto)")
 		jobs       = flag.Int("j", 0, "ingestion workers for uploads and preloads (0 = GOMAXPROCS, 1 = sequential)")
 		maxUpload  = flag.Int64("max-upload", 0, "largest accepted POST /graphs upload in bytes (0 = 1 GiB)")
+		batchWin   = flag.Duration("batch-window", 0, "admission window coalescing concurrent single-source /v1 runs into multi-source batches (0 = 2ms default, negative disables)")
 		quiet      = flag.Bool("quiet", false, "suppress per-request logging")
 		graphs     graphFlags
 	)
@@ -68,6 +77,7 @@ func main() {
 		Partitions:     *partitions,
 		Workers:        *jobs,
 		MaxUploadBytes: *maxUpload,
+		BatchWindow:    *batchWin,
 		Logger:         reqLogger,
 	})
 

@@ -209,6 +209,56 @@ func RunWithWorkspace[V, E, M, R any, P Program[V, E, M, R]](g *Graph[V, E], p P
 	return core.RunWithWorkspace(g, p, cfg, ws)
 }
 
+// Semiring is the explicit (add, mul, identity) contract of a program's
+// message fold — the GraphBLAS view the multi-source engine requires. See
+// core.Semiring for the exact contract tying it to Program.
+type Semiring[E, M, R any] = core.Semiring[E, M, R]
+
+// BlockProgram is a vertex program that also exposes its fold as a Semiring,
+// qualifying it for the multi-source block engine. When the contract holds, a
+// k-source block run is bit-identical per source to k scalar runs.
+type BlockProgram[V, E, M, R any] = core.BlockProgram[V, E, M, R]
+
+// MaxBlockSources is the widest source block one engine run accepts (64, so
+// per-vertex column masks are single machine words). Wider batches split at
+// the algorithms layer.
+const MaxBlockSources = core.MaxBlockSources
+
+// BlockState carries the per-(vertex, source) properties and active set of a
+// multi-source run; it replaces the graph's scalar vertex state, so block and
+// scalar runs can share one pinned snapshot.
+type BlockState[V any] = core.BlockState[V]
+
+// NewBlockState allocates vertex state for a k-source run over n vertices
+// (1 <= k <= MaxBlockSources).
+func NewBlockState[V any](n, k int) *BlockState[V] { return core.NewBlockState[V](n, k) }
+
+// BlockWorkspace is the block engine's reusable n×k scratch.
+type BlockWorkspace[M, R any] = core.BlockWorkspace[M, R]
+
+// NewBlockWorkspace allocates block scratch for k-source runs over n-vertex
+// graphs.
+func NewBlockWorkspace[M, R any](n, k int) *BlockWorkspace[M, R] {
+	return core.NewBlockWorkspace[M, R](n, k)
+}
+
+// RunBlock executes a BlockProgram over the k source columns of st until
+// every column converges; it is RunBlockContext without a context.
+func RunBlock[V, E, M, R any, P BlockProgram[V, E, M, R]](
+	g *Graph[V, E], p P, st *BlockState[V], cfg Config, ws *BlockWorkspace[M, R],
+) (Stats, error) {
+	return core.RunBlock[V, E, M, R, P](g, p, st, cfg, ws)
+}
+
+// RunBlockContext is the multi-source analogue of RunContext: one n×k SpMM
+// sweep per superstep advances up to 64 independent source columns, each
+// column dropping out of the sweep as it converges. See core.RunBlockContext.
+func RunBlockContext[V, E, M, R any, P BlockProgram[V, E, M, R]](
+	ctx context.Context, g *Graph[V, E], p P, st *BlockState[V], cfg Config, ws *BlockWorkspace[M, R], opts ...RunOption,
+) (Stats, error) {
+	return core.RunBlockContext[V, E, M, R, P](ctx, g, p, st, cfg, ws, opts...)
+}
+
 // SpMV performs a single generalized sparse matrix–sparse vector
 // multiplication with the program's ProcessMessage/Reduce (the Figure 1
 // primitive), without the surrounding superstep loop. It dispatches through

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"graphmat/internal/gen"
+	"graphmat/internal/graph"
+)
+
+// ssspBlockProg is ssspProg plus its explicit semiring — the BlockProgram the
+// multi-source differential tests drive. Mul(m, e) = ProcessMessage(m, e, ·)
+// and Add = Reduce bit-for-bit, so scalar runs are the oracle.
+type ssspBlockProg struct{ ssspProg }
+
+func (ssspBlockProg) Mul(m float32, e float32) float32 { return m + e }
+func (ssspBlockProg) Add(a, b float32) float32         { return min(a, b) }
+func (ssspBlockProg) Identity() float32                { return inf }
+func (ssspBlockProg) ProcessIgnoresDst()               {}
+
+// blockTestGraph builds a small RMAT-derived weighted graph.
+func blockTestGraph(t testing.TB, nparts int) *graph.Graph[float32, float32] {
+	t.Helper()
+	adj := gen.RMAT(gen.RMATOptions{Scale: 8, EdgeFactor: 8, Seed: 7, MaxWeight: 31})
+	adj.RemoveSelfLoops()
+	g, err := graph.NewFromCOO[float32, float32](adj, graph.Options{Partitions: nparts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestBlockSSSPMatchesScalar asserts the core contract of the block engine:
+// a k-source block run is bit-identical per column to k scalar runs, in every
+// kernel mode, on the same graph.
+func TestBlockSSSPMatchesScalar(t *testing.T) {
+	g := blockTestGraph(t, 4)
+	n := int(g.NumVertices())
+	sources := []uint32{0, 3, 17, 42, 100, 101, 200, 255}
+	k := len(sources)
+
+	// Scalar oracle: one run per source on the same graph.
+	oracle := make([][]float32, k)
+	for s, src := range sources {
+		g.SetAllProps(inf)
+		g.SetProp(src, 0)
+		g.ClearActive()
+		g.SetActive(src)
+		if _, err := Run(g, ssspProg{}, Config{Mode: Pull}); err != nil {
+			t.Fatal(err)
+		}
+		dist := make([]float32, n)
+		copy(dist, g.Props())
+		oracle[s] = dist
+	}
+
+	for _, mode := range []Mode{Pull, Push, Auto} {
+		for _, threads := range []int{1, 3} {
+			t.Run(fmt.Sprintf("mode_%s_threads_%d", mode, threads), func(t *testing.T) {
+				st := NewBlockState[float32](n, k)
+				st.SetAllProps(inf)
+				for s, src := range sources {
+					st.SetProp(src, s, 0)
+					st.Activate(src, s)
+				}
+				stats, err := RunBlock(g, ssspBlockProg{}, st, Config{Mode: mode, Threads: threads}, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if stats.Reason != Converged {
+					t.Fatalf("block run did not converge: %+v", stats)
+				}
+				col := make([]float32, n)
+				for s := range sources {
+					st.Column(s, col)
+					for v := range col {
+						if col[v] != oracle[s][v] {
+							t.Fatalf("source %d: dist[%d] = %v, want %v", sources[s], v, col[v], oracle[s][v])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBlockSingleColumn pins the k=1 degenerate case to the scalar engine.
+func TestBlockSingleColumn(t *testing.T) {
+	g := blockTestGraph(t, 3)
+	n := int(g.NumVertices())
+	g.SetAllProps(inf)
+	g.SetProp(5, 0)
+	g.SetActive(5)
+	scalarStats, err := Run(g, ssspProg{}, Config{Mode: Auto})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := NewBlockState[float32](n, 1)
+	st.SetAllProps(inf)
+	st.SetProp(5, 0, 0)
+	st.Activate(5, 0)
+	blockStats, err := RunBlock(g, ssspBlockProg{}, st, Config{Mode: Auto}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := make([]float32, n)
+	st.Column(0, col)
+	for v := range col {
+		if col[v] != g.Prop(uint32(v)) {
+			t.Fatalf("dist[%d] = %v, want %v", v, col[v], g.Prop(uint32(v)))
+		}
+	}
+	// Same frontier per superstep means the same engine tallies.
+	if blockStats.Iterations != scalarStats.Iterations ||
+		blockStats.MessagesSent != scalarStats.MessagesSent ||
+		blockStats.EdgesProcessed != scalarStats.EdgesProcessed ||
+		blockStats.Applies != scalarStats.Applies {
+		t.Fatalf("k=1 block stats diverge from scalar: block %+v scalar %+v", blockStats, scalarStats)
+	}
+}
+
+// TestBlockWorkspaceReuse runs twice through one workspace, asserting the
+// second run is unpolluted by the first.
+func TestBlockWorkspaceReuse(t *testing.T) {
+	g := blockTestGraph(t, 2)
+	n := int(g.NumVertices())
+	ws := NewBlockWorkspace[float32, float32](n, 2)
+	want := make([][]float32, 2)
+	for round := 0; round < 2; round++ {
+		st := NewBlockState[float32](n, 2)
+		st.SetAllProps(inf)
+		for s, src := range []uint32{9, 27} {
+			st.SetProp(src, s, 0)
+			st.Activate(src, s)
+		}
+		if _, err := RunBlock(g, ssspBlockProg{}, st, Config{}, ws); err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < 2; s++ {
+			col := make([]float32, n)
+			st.Column(s, col)
+			if round == 0 {
+				want[s] = col
+				continue
+			}
+			for v := range col {
+				if col[v] != want[s][v] {
+					t.Fatalf("round 2 source %d: dist[%d] = %v, want %v", s, v, col[v], want[s][v])
+				}
+			}
+		}
+	}
+}

@@ -38,7 +38,11 @@ type localStats struct {
 	// that sent a message — the frontier's edge work, the numerator of the
 	// Auto push/pull decision. Only tallied when the run is in Auto mode.
 	degSum int64
-	_      [16]byte
+	// senders counts distinct sending VERTICES (not (vertex, source) pairs) —
+	// the push kernels' per-partition probe bill. Tallied only by the block
+	// engine; the scalar engine's senders equal its sent count.
+	senders int64
+	_       [8]byte
 }
 
 func (s *Stats) absorb(locals []localStats) (sent, applies, active, degSum int64) {

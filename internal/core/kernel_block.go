@@ -1,0 +1,258 @@
+package core
+
+import (
+	"math/bits"
+
+	"graphmat/internal/sparse"
+)
+
+// This file is the multi-source half of the kernel layer: the generalized
+// sparse matrix–sparse MATRIX multiplication (SpMM) over n×k block vectors —
+// one sweep of the adjacency structure advancing up to 64 source columns at
+// once, in pull (column probe) and push (frontier-driven SpMSpV) directions,
+// over single-layer and layered (base+delta overlay) partitions. The point of
+// the widening is amortization: the column probes and edge-list walks that
+// dominate a scalar superstep are paid once per edge instead of once per
+// (edge, source).
+//
+// The scalar kernels' invariants carry over per column:
+//
+//  1. partitions own disjoint 64-aligned output row ranges — no
+//     synchronization on the output block;
+//  2. columns of the adjacency structure are visited in ascending id in
+//     every mode, and within one destination the per-source fold order
+//     follows the same edge order the scalar kernels use — so for each
+//     source s, a block run folds exactly the values, in exactly the order,
+//     of a scalar run from that source alone. That is the bit-identity
+//     contract the differential suite asserts.
+//
+// The fold uses the BlockProgram's Semiring half (Mul/Add): Mul has no
+// destination parameter, which is what makes sharing one edge traversal
+// across k columns sound. First writes store the raw Mul result under a mask
+// bit, exactly like the scalar fold — Identity() is never fed to Add.
+
+// foldBlockColumn folds one adjacency column into the output block for every
+// source in cm: per edge, one Mul per live source column, Add on collisions.
+// xrow is the sender's k-wide message row; irc/vc the column's edge targets
+// and values.
+func foldBlockColumn[V, E, M, R any, P BlockProgram[V, E, M, R]](
+	p P, k int, cm uint64, xrow []M, irc []uint32, vc []E,
+	ysw []uint64, ycols []uint64, yvals []R,
+) {
+	for kk, dst := range irc {
+		e := vc[kk]
+		w := &ysw[dst>>6]
+		bit := uint64(1) << (dst & 63)
+		if *w&bit == 0 {
+			*w |= bit
+			ycols[dst] = 0
+		}
+		ym := ycols[dst]
+		yrow := yvals[int(dst)*k : int(dst)*k+k]
+		for m := cm; m != 0; m &= m - 1 {
+			s := bits.TrailingZeros64(m)
+			r := p.Mul(xrow[s], e)
+			if ym&(1<<uint(s)) != 0 {
+				yrow[s] = p.Add(yrow[s], r)
+			} else {
+				yrow[s] = r
+				ym |= 1 << uint(s)
+			}
+		}
+		ycols[dst] = ym
+	}
+}
+
+// spmmPullBitvec is spmvPullBitvec widened to k columns: traverse the
+// partition's nonzero columns in ascending id, probe the block frontier's
+// summary bit, and fold each edge once per live source column.
+func spmmPullBitvec[V, E, M, R any, P BlockProgram[V, E, M, R]](
+	part *sparse.DCSC[E],
+	x *BlockVector[M],
+	p P,
+	y *BlockVector[R],
+	st *localStats,
+) {
+	jc, cp, ir, vals := part.JC, part.CP, part.IR, part.Val
+	k := x.k
+	xw := x.summary.Words()
+	xcols, xvals := x.cols, x.vals
+	ysw := y.summary.Words()
+	ycols, yvals := y.cols, y.vals
+	edges := int64(0)
+	for ci, j := range jc {
+		if xw[j>>6]&(1<<(j&63)) == 0 {
+			continue
+		}
+		cm := xcols[j]
+		if cm == 0 {
+			continue
+		}
+		xrow := xvals[int(j)*k : int(j)*k+k]
+		lo, hi := cp[ci], cp[ci+1]
+		edges += int64(hi-lo) * int64(bits.OnesCount64(cm))
+		foldBlockColumn(p, k, cm, xrow, ir[lo:hi], vals[lo:hi:hi], ysw, ycols, yvals)
+	}
+	st.probes += int64(len(jc))
+	st.edges += edges
+}
+
+// spmmPushBitvec is spmvPushBitvec widened to k columns: iterate the block
+// frontier's summary in ascending vertex order and AUX-probe the partition
+// per sender, folding each found column once per live source column.
+func spmmPushBitvec[V, E, M, R any, P BlockProgram[V, E, M, R]](
+	part *sparse.DCSC[E],
+	x *BlockVector[M],
+	p P,
+	y *BlockVector[R],
+	st *localStats,
+) {
+	jc, cp, ir, vals := part.JC, part.CP, part.IR, part.Val
+	if len(jc) == 0 {
+		return
+	}
+	k := x.k
+	xw := x.summary.Words()
+	xcols, xvals := x.cols, x.vals
+	ysw := y.summary.Words()
+	ycols, yvals := y.cols, y.vals
+	probes, edges := int64(0), int64(0)
+	loW := int(jc[0] >> 6)
+	hiW := int(jc[len(jc)-1]>>6) + 1
+	if hiW > len(xw) {
+		hiW = len(xw)
+	}
+	for wi := loW; wi < hiW; wi++ {
+		w := xw[wi]
+		base := uint32(wi) << 6
+		for w != 0 {
+			j := base + uint32(bits.TrailingZeros64(w))
+			w &= w - 1
+			cm := xcols[j]
+			if cm == 0 {
+				continue
+			}
+			probes++
+			ci, ok := part.FindColumn(j)
+			if !ok {
+				continue
+			}
+			xrow := xvals[int(j)*k : int(j)*k+k]
+			lo, hi := cp[ci], cp[ci+1]
+			edges += int64(hi-lo) * int64(bits.OnesCount64(cm))
+			foldBlockColumn(p, k, cm, xrow, ir[lo:hi], vals[lo:hi:hi], ysw, ycols, yvals)
+		}
+	}
+	st.probes += probes
+	st.edges += edges
+}
+
+// spmmPullLayered is the pull SpMM over a base+delta overlay: the layered
+// scalar kernel's two-pointer column merge with the block fold inside. Delta
+// overrides replace base columns; empty overrides are tombstones.
+func spmmPullLayered[V, E, M, R any, P BlockProgram[V, E, M, R]](
+	l sparse.Layered[E],
+	x *BlockVector[M],
+	p P,
+	y *BlockVector[R],
+	st *localStats,
+) {
+	base, delta := l.Base, l.Delta
+	bjc, djc := base.JC, delta.JC
+	k := x.k
+	xw := x.summary.Words()
+	xcols, xvals := x.cols, x.vals
+	ysw := y.summary.Words()
+	ycols, yvals := y.cols, y.vals
+	probes, edges := int64(0), int64(0)
+	bi, di := 0, 0
+	for bi < len(bjc) || di < len(djc) {
+		var j uint32
+		var irc []uint32
+		var vc []E
+		if di >= len(djc) || (bi < len(bjc) && bjc[bi] < djc[di]) {
+			j = bjc[bi]
+			lo, hi := base.CP[bi], base.CP[bi+1]
+			irc, vc = base.IR[lo:hi], base.Val[lo:hi:hi]
+			bi++
+		} else {
+			j = djc[di]
+			if bi < len(bjc) && bjc[bi] == j {
+				bi++ // base column overridden
+			}
+			lo, hi := delta.CP[di], delta.CP[di+1]
+			di++
+			if lo == hi {
+				continue // tombstone
+			}
+			irc, vc = delta.IR[lo:hi], delta.Val[lo:hi:hi]
+		}
+		probes++
+		if xw[j>>6]&(1<<(j&63)) == 0 {
+			continue
+		}
+		cm := xcols[j]
+		if cm == 0 {
+			continue
+		}
+		edges += int64(len(irc)) * int64(bits.OnesCount64(cm))
+		foldBlockColumn(p, k, cm, xvals[int(j)*k:int(j)*k+k], irc, vc, ysw, ycols, yvals)
+	}
+	st.probes += probes
+	st.edges += edges
+}
+
+// spmmPushLayered is the push SpMM over a base+delta overlay: block frontier
+// iteration with delta-first column resolution.
+func spmmPushLayered[V, E, M, R any, P BlockProgram[V, E, M, R]](
+	l sparse.Layered[E],
+	x *BlockVector[M],
+	p P,
+	y *BlockVector[R],
+	st *localStats,
+) {
+	base, delta := l.Base, l.Delta
+	if len(base.JC) == 0 && len(delta.JC) == 0 {
+		return
+	}
+	k := x.k
+	xw := x.summary.Words()
+	xcols, xvals := x.cols, x.vals
+	ysw := y.summary.Words()
+	ycols, yvals := y.cols, y.vals
+	probes, edges := int64(0), int64(0)
+	loCol, hiCol := ^uint32(0), uint32(0)
+	if len(base.JC) > 0 {
+		loCol, hiCol = base.JC[0], base.JC[len(base.JC)-1]
+	}
+	if len(delta.JC) > 0 {
+		loCol = min(loCol, delta.JC[0])
+		hiCol = max(hiCol, delta.JC[len(delta.JC)-1])
+	}
+	loW := int(loCol >> 6)
+	hiW := int(hiCol>>6) + 1
+	if hiW > len(xw) {
+		hiW = len(xw)
+	}
+	for wi := loW; wi < hiW; wi++ {
+		w := xw[wi]
+		base32 := uint32(wi) << 6
+		for w != 0 {
+			j := base32 + uint32(bits.TrailingZeros64(w))
+			w &= w - 1
+			cm := xcols[j]
+			if cm == 0 {
+				continue
+			}
+			probes++
+			irc, vc, ok := liveColumn(base, delta, j)
+			if !ok {
+				continue
+			}
+			edges += int64(len(irc)) * int64(bits.OnesCount64(cm))
+			foldBlockColumn(p, k, cm, xvals[int(j)*k:int(j)*k+k], irc, vc, ysw, ycols, yvals)
+		}
+	}
+	st.probes += probes
+	st.edges += edges
+}

@@ -1,0 +1,51 @@
+package core
+
+// This file makes the algebra behind the generalized SpMV explicit. The
+// scalar engine only ever sees ProcessMessage/Reduce as opaque callbacks; the
+// multi-source (SpMM) engine needs the GraphBLAS view of the same fold — an
+// (add, mul, identity) semiring — because one n×k sweep folds k independent
+// columns through the same pair of operations and must know that the pair is
+// destination-independent to share one edge traversal across all k sources.
+
+// Semiring is the explicit (add, mul, identity) contract of a vertex
+// program's message fold, in the GraphBLAS sense: Mul turns a message and an
+// edge value into a per-edge result, Add folds results per destination, and
+// Identity is Add's neutral element.
+//
+// The contract that ties a Semiring to its Program (see BlockProgram):
+//
+//   - Mul(m, e) must equal ProcessMessage(m, e, dst) for every dst — the
+//     program is destination-independent by construction (Mul has no dst
+//     parameter to read);
+//   - Add must equal Reduce bit-for-bit, including on floating-point values;
+//   - Identity() is never fed to Add by the engine's kernels (first writes
+//     store the raw result, exactly like the scalar fold — IEEE quirks such
+//     as 0 + (-0) = +0 therefore cannot perturb results). It exists for
+//     callers that pre-fill output blocks and for documentation of the
+//     algebra.
+//
+// Examples: BFS is (min, m+1, MaxUint32); SSSP is (min, m+w, +Inf-like);
+// PageRank is (+, m, 0); reachability is (OR, m, 0); widest path is
+// (max, min(m, w), 0).
+type Semiring[E, M, R any] interface {
+	// Mul combines a message with an edge value into a per-edge result
+	// (the ⊗ of the generalized SpMV).
+	Mul(m M, e E) R
+	// Add folds two per-edge results (the ⊕). Must be commutative and
+	// associative, and must equal the program's Reduce exactly.
+	Add(a, b R) R
+	// Identity is Add's neutral element.
+	Identity() R
+}
+
+// BlockProgram is a vertex program that also exposes its message fold as an
+// explicit Semiring, which is what qualifies it for the multi-source block
+// engine (RunBlockContext): the scalar Program half drives SendMessage/Apply
+// per (vertex, source) pair, and the Semiring half lets the SpMM kernels run
+// the fold once per edge across all k source columns. When the Semiring
+// contract above holds, a k-source block run is bit-identical per source to
+// k independent scalar runs — the scalar engine is the differential oracle.
+type BlockProgram[V, E, M, R any] interface {
+	Program[V, E, M, R]
+	Semiring[E, M, R]
+}

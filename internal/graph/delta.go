@@ -17,6 +17,12 @@ import (
 // pipeline. Nothing here mutates the receiver — snapshot isolation falls out
 // of the sharing discipline, not locking.
 
+// minParallelDeltaMuts is the mutation count below which delta merges run on
+// the calling goroutine. MergeDelta is a linear merge over the touched
+// columns; for typical small batches the per-batch goroutine fan-out/park
+// cycle dominates the merge itself (the BENCH_store workers_4 regression).
+const minParallelDeltaMuts = 1 << 12
+
 // ApplyResult reports what one update batch did.
 type ApplyResult struct {
 	// Epoch is the edge-set version the batch produced.
@@ -68,9 +74,10 @@ func (g *Graph[V, E]) applyBatch(batch []Update[E]) (*Graph[V, E], ApplyResult, 
 	if hasIn {
 		ng.bwd, ng.inParts = g.bwd, g.inParts
 	}
-	// Full-capacity slice expression: appending to the shared log must copy,
-	// never scribble over a prior epoch's tail.
-	ng.pending = append(g.pending[:len(g.pending):len(g.pending)], norm...)
+	// Shared log: the tip extends in place (amortized O(batch)); only a
+	// branch off an older epoch pays the prefix copy. Either way no prior
+	// epoch's view is disturbed.
+	ng.log, ng.logLen = g.log.extend(g.logLen, norm)
 	ng.outDeg = slices.Clone(g.outDeg)
 	ng.inDeg = slices.Clone(g.inDeg)
 
@@ -123,7 +130,13 @@ func buildDeltas[E any](parts, old []*sparse.DCSC[E], muts []sparse.Mut[E], work
 		frags[p] = append(frags[p], m)
 	}
 	out := make([]*sparse.DCSC[E], nparts)
-	sparse.ParallelFor(nparts, sparse.Workers(workers), func(p int) {
+	nworkers := sparse.Workers(workers)
+	if len(muts) < minParallelDeltaMuts {
+		// Small batches merge inline: spawning and parking goroutines costs
+		// more than merging a few thousand mutations.
+		nworkers = 1
+	}
+	sparse.ParallelFor(nparts, nworkers, func(p int) {
 		var prev *sparse.DCSC[E]
 		if old != nil {
 			prev = old[p]
@@ -180,8 +193,9 @@ func (g *Graph[V, E]) HasEdge(src, dst uint32) (E, bool) {
 		// No traversal structure built yet (cannot happen through NewFromCOO,
 		// which always builds at least one direction): consult the triple
 		// lists via the pending log semantics.
-		for i := len(g.pending) - 1; i >= 0; i-- {
-			if u := g.pending[i]; u.Src == src && u.Dst == dst {
+		log := g.pending()
+		for i := len(log) - 1; i >= 0; i-- {
+			if u := log[i]; u.Src == src && u.Dst == dst {
 				return u.Val, !u.Del
 			}
 		}
@@ -207,13 +221,13 @@ func findRow(rows []uint32, r uint32) (int, bool) {
 // column-major sorted): the base list with the pending log's final state per
 // key merged in. With no pending mutations it is a plain clone.
 func (g *Graph[V, E]) materializeFwd() *sparse.COO[E] {
-	if len(g.pending) == 0 {
+	if g.logLen == 0 {
 		return g.fwd.Clone()
 	}
 	// The log normalizes across batches exactly like within one: a stable
 	// (src, dst) sort keeps application order inside each key, and keep-last
 	// is the final state.
-	final := normalizeUpdates(g.pending)
+	final := normalizeUpdates(g.pending())
 	out := &sparse.COO[E]{NRows: g.fwd.NRows, NCols: g.fwd.NCols}
 	out.Entries = make([]sparse.Triple[E], 0, len(g.fwd.Entries)+len(final))
 	src := g.fwd.Entries
@@ -241,7 +255,7 @@ func (g *Graph[V, E]) materializeFwd() *sparse.COO[E] {
 // and the traversal structures are rebuilt through the parallel partition
 // pipeline. The receiver is untouched, so pinned snapshots of it stay valid.
 func (g *Graph[V, E]) compacted() *Graph[V, E] {
-	if len(g.pending) == 0 {
+	if g.logLen == 0 {
 		return g
 	}
 	ng := &Graph[V, E]{n: g.n, opts: g.opts, epoch: g.epoch}

@@ -95,10 +95,13 @@ type Graph[V, E any] struct {
 	// every applied batch increments it. Compaction changes the
 	// representation, not the edge set, so it keeps the epoch.
 	epoch uint64
-	// pending is the normalized mutation log since the base was built, in
-	// application order. It replays onto lazily built traversal structures
-	// and materializes the live edge set for compaction.
-	pending []Update[E]
+	// log/logLen view the shared append-only mutation log: the first logLen
+	// entries are the normalized mutations since the base was built, in
+	// application order. They replay onto lazily built traversal structures
+	// and materialize the live edge set for compaction. The backing log is
+	// shared down the epoch chain (see updateLog); use pending() to read.
+	log    *updateLog[E]
+	logLen int
 
 	props  []V
 	active *bitvec.Vector
@@ -219,8 +222,8 @@ func (g *Graph[V, E]) InDegrees() []uint32 { return g.inDeg }
 func (g *Graph[V, E]) OutPartitions() []*sparse.DCSC[E] {
 	if g.outParts == nil {
 		g.outParts = sparse.BuildPartitionedDCSCParallel(g.fwd, g.opts.Partitions, g.opts.Workers)
-		if len(g.pending) > 0 {
-			g.outDelta = buildDeltas(g.outParts, nil, fwdMuts(normalizeUpdates(g.pending)), g.opts.Workers)
+		if g.logLen > 0 {
+			g.outDelta = buildDeltas(g.outParts, nil, fwdMuts(normalizeUpdates(g.pending())), g.opts.Workers)
 		}
 	}
 	return g.outParts
@@ -233,8 +236,8 @@ func (g *Graph[V, E]) OutPartitions() []*sparse.DCSC[E] {
 func (g *Graph[V, E]) InPartitions() []*sparse.DCSC[E] {
 	if g.inParts == nil {
 		g.buildBackward()
-		if len(g.pending) > 0 {
-			g.inDelta = buildDeltas(g.inParts, nil, bwdMuts(normalizeUpdates(g.pending)), g.opts.Workers)
+		if g.logLen > 0 {
+			g.inDelta = buildDeltas(g.inParts, nil, bwdMuts(normalizeUpdates(g.pending())), g.opts.Workers)
 		}
 	}
 	return g.inParts
@@ -273,7 +276,10 @@ func (g *Graph[V, E]) OverlayNNZ() int64 { return g.overlayNNZ }
 
 // PendingUpdates reports the number of normalized mutations separating the
 // live edge set from the base structures.
-func (g *Graph[V, E]) PendingUpdates() int { return len(g.pending) }
+func (g *Graph[V, E]) PendingUpdates() int { return g.logLen }
+
+// pending returns this epoch's view of the mutation log (read-only).
+func (g *Graph[V, E]) pending() []Update[E] { return g.log.view(g.logLen) }
 
 // Partitions returns the current partition count.
 func (g *Graph[V, E]) Partitions() int { return g.opts.Partitions }
@@ -290,14 +296,14 @@ func (g *Graph[V, E]) Repartition(nparts int) {
 		nparts = 1
 	}
 	hadOut, hadIn := g.outParts != nil, g.inParts != nil
-	if len(g.pending) > 0 {
+	if g.logLen > 0 {
 		g.fwd = g.materializeFwd()
 		g.m = int64(len(g.fwd.Entries))
 		g.outDeg = g.fwd.ColCounts()
 		g.inDeg = g.fwd.RowCounts()
 		g.bwd, g.outParts, g.inParts = nil, nil, nil
 		g.outDelta, g.inDelta = nil, nil
-		g.pending, g.overlayNNZ = nil, 0
+		g.log, g.logLen, g.overlayNNZ = nil, 0, 0
 	}
 	g.opts.Partitions = nparts
 	if hadOut {

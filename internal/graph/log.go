@@ -1,0 +1,55 @@
+package graph
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// updateLog is the shared append-only mutation log behind a chain of graph
+// epochs. Each epoch views a prefix of one backing slice, so applying a batch
+// at the chain tip extends the log in place and costs amortized O(batch) —
+// not O(total history), which made long uncompacted chains quadratic. A prior
+// epoch's view is never disturbed: in-place appends write strictly beyond
+// every published prefix, a reallocation publishes the fresh backing array
+// through the atomic pointer (its shared prefix already copied), and
+// extending from a non-tip view — a branch — copies into a fresh log.
+type updateLog[E any] struct {
+	mu  sync.Mutex // serializes appenders
+	buf atomic.Pointer[[]Update[E]]
+}
+
+// view returns the log's first n entries, aliasing the shared backing array.
+// Full-capacity slicing keeps callers from appending past the view.
+func (l *updateLog[E]) view(n int) []Update[E] {
+	if l == nil || n == 0 {
+		return nil
+	}
+	return (*l.buf.Load())[:n:n]
+}
+
+// extend appends norm after the first viewLen entries and returns the log and
+// view length for the successor epoch. Only the tip (viewLen equal to the
+// committed length) extends in place; any other view copies its prefix into a
+// fresh log so sibling chains cannot scribble over each other's tails.
+func (l *updateLog[E]) extend(viewLen int, norm []Update[E]) (*updateLog[E], int) {
+	if l != nil {
+		l.mu.Lock()
+		cur := *l.buf.Load()
+		if len(cur) == viewLen {
+			nb := append(cur, norm...)
+			l.buf.Store(&nb)
+			l.mu.Unlock()
+			return l, len(nb)
+		}
+		l.mu.Unlock()
+		nb := make([]Update[E], 0, viewLen+len(norm))
+		nb = append(append(nb, cur[:viewLen]...), norm...)
+		nl := &updateLog[E]{}
+		nl.buf.Store(&nb)
+		return nl, len(nb)
+	}
+	nb := append([]Update[E](nil), norm...)
+	nl := &updateLog[E]{}
+	nl.buf.Store(&nb)
+	return nl, len(nb)
+}

@@ -127,7 +127,7 @@ func (s *Store[V, E]) Compact() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	old := s.cur.Load()
-	if len(old.g.pending) == 0 {
+	if old.g.logLen == 0 {
 		return
 	}
 	s.cur.Store(&Snapshot[V, E]{store: s, g: old.g.compacted()})
@@ -167,7 +167,7 @@ func (s *Store[V, E]) Stats() StoreStats {
 		LiveEdges:      g.m,
 		BaseEdges:      int64(len(g.fwd.Entries)),
 		OverlayNNZ:     g.overlayNNZ,
-		PendingUpdates: len(g.pending),
+		PendingUpdates: g.logLen,
 	}
 }
 

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"graphmat"
+	"graphmat/algorithms"
+)
+
+// The admission/batching layer of the v1 run API. Concurrent single-source
+// requests for the same (graph, algorithm, epoch, non-source parameters) are
+// coalesced into one multi-source block run — the k requests share every
+// adjacency sweep instead of paying k of them — and the per-source columns
+// fan back out to the waiting requests. Because the block engine is
+// bit-identical per source to the scalar engine, coalescing is invisible to
+// clients except in latency: each response carries exactly the values a solo
+// run would have produced.
+//
+// The coalescing window is deliberately short (default 2ms): it exists to
+// catch requests that are already in flight together, not to delay lone
+// queries hoping company shows up. A batch that reaches the block width
+// (graphmat.MaxBlockSources) flushes immediately.
+
+const defaultBatchWindow = 2 * time.Millisecond
+
+// batchKey identifies requests that may share one block run. The epoch is
+// part of the key so requests straddling an update batch never share a
+// snapshot they would disagree about; the params key has the source stripped
+// (that is the dimension being batched over).
+type batchKey struct {
+	g      *GraphEntry
+	algo   string
+	epoch  uint64
+	params string
+}
+
+// sharedParamsKey canonicalizes the non-source parameters of a request.
+func sharedParamsKey(p algorithms.Params) string {
+	p.Source, p.Sources = 0, nil
+	return p.Key()
+}
+
+// pendingBatch is one open coalescing window: the sources gathered so far and
+// the completion the waiters block on.
+type pendingBatch struct {
+	p       algorithms.Params // shared non-source parameters
+	sources []uint32
+	flushed bool
+	done    chan struct{}
+	res     algorithms.BatchResult
+	err     error
+}
+
+type batcher struct {
+	window time.Duration
+
+	mu      sync.Mutex
+	pending map[batchKey]*pendingBatch
+
+	// Tallies for GET /stats.
+	submitted int64 // single-source requests admitted
+	batches   int64 // block runs dispatched
+	coalesced int64 // requests that shared a run with at least one other
+}
+
+func newBatcher(window time.Duration) *batcher {
+	if window == 0 {
+		window = defaultBatchWindow
+	}
+	return &batcher{window: window, pending: make(map[batchKey]*pendingBatch)}
+}
+
+// submit admits one single-source request. It joins (or opens) the pending
+// batch for the request's key, waits for the coalesced run, and returns this
+// request's column as an ordinary single-source Result. The Stats are the
+// whole batch's aggregate — batching trades per-request stat attribution for
+// shared sweeps. The second return reports whether the run was shared with
+// other requests.
+//
+// ctx bounds only this caller's wait: a coalesced run is not canceled when
+// one of its waiters gives up, since the others still want the result.
+func (b *batcher) submit(ctx context.Context, g *GraphEntry, algo string, p algorithms.Params) (algorithms.Result, bool, error) {
+	key := batchKey{g: g, algo: algo, epoch: g.Epoch(), params: sharedParamsKey(p)}
+	b.mu.Lock()
+	b.submitted++
+	pb, ok := b.pending[key]
+	if !ok {
+		pb = &pendingBatch{p: p, done: make(chan struct{})}
+		b.pending[key] = pb
+		time.AfterFunc(b.window, func() { b.flush(key, pb) })
+	}
+	idx := len(pb.sources)
+	pb.sources = append(pb.sources, p.Source)
+	full := len(pb.sources) >= graphmat.MaxBlockSources
+	b.mu.Unlock()
+	if full {
+		// A full block flushes in the submitting goroutine: the run happens
+		// here, and the AfterFunc finds the batch already flushed.
+		b.flush(key, pb)
+	}
+	select {
+	case <-pb.done:
+	case <-ctx.Done():
+		return algorithms.Result{}, false, ctx.Err()
+	}
+	if pb.err != nil {
+		return algorithms.Result{}, false, pb.err
+	}
+	return algorithms.Result{
+		Values: pb.res.Values[idx],
+		Stats:  pb.res.Stats,
+		Epoch:  pb.res.Epoch,
+	}, len(pb.res.Sources) > 1, nil
+}
+
+// flush closes the batch's admission window and executes the block run.
+// Idempotent: the width-triggered flush and the timer both call it, the first
+// one wins. The run uses a background context — see submit.
+func (b *batcher) flush(key batchKey, pb *pendingBatch) {
+	b.mu.Lock()
+	if pb.flushed {
+		b.mu.Unlock()
+		return
+	}
+	pb.flushed = true
+	if b.pending[key] == pb {
+		delete(b.pending, key)
+	}
+	p := pb.p
+	p.Source = 0
+	p.Sources = append([]uint32(nil), pb.sources...)
+	b.batches++
+	if len(p.Sources) > 1 {
+		b.coalesced += int64(len(p.Sources))
+	}
+	b.mu.Unlock()
+	pb.res, pb.err = key.g.RunBatch(context.Background(), key.algo, p, nil)
+	close(pb.done)
+}
+
+// batcherStats is the GET /stats view of the admission layer.
+type batcherStats struct {
+	Submitted int64 `json:"submitted"`
+	Batches   int64 `json:"batches"`
+	Coalesced int64 `json:"coalesced"`
+}
+
+func (b *batcher) stats() batcherStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return batcherStats{Submitted: b.submitted, Batches: b.batches, Coalesced: b.coalesced}
+}

@@ -75,9 +75,32 @@ type algoInstance struct {
 	allocs atomic.Int64 // workspaces created by the pool
 	runs   atomic.Int64
 
+	// batchRuns counts multi-source block runs; batchedSources the total
+	// source columns they advanced. batchedSources / batchRuns is the mean
+	// batch width — the serving-side view of how well admission batching and
+	// explicit multi-source requests amortize adjacency sweeps.
+	batchRuns      atomic.Int64
+	batchedSources atomic.Int64
+
 	statsMu sync.Mutex
 	engine  graphmat.Stats
 	wall    float64 // seconds spent inside the engine
+}
+
+// record accumulates one completed run's engine stats and wall time into the
+// instance tallies.
+func (ai *algoInstance) record(s graphmat.Stats, wall float64) {
+	ai.statsMu.Lock()
+	ai.engine.Iterations += s.Iterations
+	ai.engine.MessagesSent += s.MessagesSent
+	ai.engine.EdgesProcessed += s.EdgesProcessed
+	ai.engine.Applies += s.Applies
+	ai.engine.ActiveSum += s.ActiveSum
+	ai.engine.ColumnsProbed += s.ColumnsProbed
+	ai.engine.PushSupersteps += s.PushSupersteps
+	ai.engine.PullSupersteps += s.PullSupersteps
+	ai.wall += wall
+	ai.statsMu.Unlock()
 }
 
 // Errors distinguished by the HTTP layer.
@@ -361,23 +384,41 @@ func (g *GraphEntry) RunContext(ctx context.Context, algo string, p algorithms.P
 		return res, err
 	}
 	ai.runs.Add(1)
-	ai.statsMu.Lock()
-	ai.engine.Iterations += res.Stats.Iterations
-	ai.engine.MessagesSent += res.Stats.MessagesSent
-	ai.engine.EdgesProcessed += res.Stats.EdgesProcessed
-	ai.engine.Applies += res.Stats.Applies
-	ai.engine.ActiveSum += res.Stats.ActiveSum
-	ai.engine.ColumnsProbed += res.Stats.ColumnsProbed
-	ai.engine.PushSupersteps += res.Stats.PushSupersteps
-	ai.engine.PullSupersteps += res.Stats.PullSupersteps
-	ai.wall += wall
-	ai.statsMu.Unlock()
+	ai.record(res.Stats, wall)
+	return res, nil
+}
+
+// RunBatch executes one multi-source query: k independent single-source runs
+// advanced as one block run on one pinned snapshot, per-source results
+// bit-identical to k Run calls. Like RunContext it serializes on the instance
+// and accumulates engine stats; block scratch is allocated per run (the
+// pooled scalar workspaces do not fit the n×k layout). Algorithms without a
+// source parameter return algorithms.ErrBatchUnsupported.
+func (g *GraphEntry) RunBatch(ctx context.Context, algo string, p algorithms.Params, obs algorithms.Observer) (algorithms.BatchResult, error) {
+	ai, err := g.instance(algo)
+	if err != nil {
+		return algorithms.BatchResult{}, err
+	}
+	ai.runMu.Lock()
+	defer ai.runMu.Unlock()
+	start := time.Now()
+	res, err := ai.inst.RunBatch(ctx, p, obs)
+	if err != nil {
+		return res, err
+	}
+	ai.batchRuns.Add(1)
+	ai.batchedSources.Add(int64(len(res.Sources)))
+	ai.record(res.Stats, time.Since(start).Seconds())
 	return res, nil
 }
 
 // AlgoStats is the /stats view of one (graph, algorithm) pair.
 type AlgoStats struct {
 	Runs int64 `json:"runs"`
+	// BatchRuns counts multi-source block runs; BatchedSources the source
+	// columns they carried (their ratio is the mean batch width).
+	BatchRuns      int64 `json:"batch_runs"`
+	BatchedSources int64 `json:"batched_sources"`
 	// WorkspaceAllocs counts workspaces the pool actually created; runs
 	// beyond this number reused pooled scratch. Pools survive edge updates
 	// (the vertex count is fixed), so this should stay flat under update
@@ -406,6 +447,8 @@ func (g *GraphEntry) Stats() map[string]AlgoStats {
 		ai.statsMu.Unlock()
 		out[n] = AlgoStats{
 			Runs:            ai.runs.Load(),
+			BatchRuns:       ai.batchRuns.Load(),
+			BatchedSources:  ai.batchedSources.Load(),
 			WorkspaceAllocs: ai.allocs.Load(),
 			Engine:          engine,
 			Counters:        counterSet(engine, wall),

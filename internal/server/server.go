@@ -40,6 +40,12 @@ type Config struct {
 	// MaxUploadBytes caps the POST /graphs upload body; 0 means the default
 	// (1 GiB).
 	MaxUploadBytes int64
+	// BatchWindow is the admission-batching window of the v1 run API:
+	// single-source requests for the same (graph, algorithm, epoch, params)
+	// arriving within it coalesce into one multi-source block run. 0 means
+	// the default (2ms); negative disables coalescing (each request runs as a
+	// width-1 batch).
+	BatchWindow time.Duration
 	// Logger, when set, receives one line per request.
 	Logger *log.Logger
 }
@@ -48,11 +54,12 @@ const defaultMaxUpload = 1 << 30
 
 // Server is the graphmatd HTTP service.
 type Server struct {
-	cfg   Config
-	reg   *Registry
-	cache *resultCache
-	mux   *http.ServeMux
-	start time.Time
+	cfg     Config
+	reg     *Registry
+	cache   *resultCache
+	batcher *batcher // nil when coalescing is disabled
+	mux     *http.ServeMux
+	start   time.Time
 
 	epMu     sync.Mutex
 	requests map[string]int64
@@ -77,16 +84,38 @@ func New(cfg Config) *Server {
 		requests: make(map[string]int64),
 		modeRuns: make(map[string]int64),
 	}
-	s.handle("GET /healthz", s.handleHealthz)
-	s.handle("GET /stats", s.handleStats)
-	s.handle("GET /algorithms", s.handleAlgorithms)
-	s.handle("GET /graphs", s.handleListGraphs)
-	s.handle("POST /graphs", s.handleAddGraph)
-	s.handle("GET /graphs/{name}", s.handleGetGraph)
-	s.handle("DELETE /graphs/{name}", s.handleDeleteGraph)
-	s.handle("POST /graphs/{name}/edges", s.handleUpdateEdges)
-	s.handle("POST /graphs/{name}/run/{algo}", s.handleRun)
+	if cfg.BatchWindow >= 0 {
+		s.batcher = newBatcher(cfg.BatchWindow)
+	}
+	// Every endpoint lives under /v1; the unversioned forms are deprecated
+	// aliases (the pre-versioning API) answering identically but flagged with
+	// a Deprecation header.
+	s.route("GET", "/healthz", s.handleHealthz)
+	s.route("GET", "/stats", s.handleStats)
+	s.route("GET", "/algorithms", s.handleAlgorithms)
+	s.route("GET", "/graphs", s.handleListGraphs)
+	s.route("POST", "/graphs", s.handleAddGraph)
+	s.route("GET", "/graphs/{name}", s.handleGetGraph)
+	s.route("DELETE", "/graphs/{name}", s.handleDeleteGraph)
+	s.route("POST", "/graphs/{name}/edges", s.handleUpdateEdges)
+	s.route("POST", "/graphs/{name}/run/{algo}", s.handleRun)
+	// v1-only surface: the unified run endpoint and the API description.
+	s.handle("POST /v1/graphs/{name}/run", s.handleRunV1)
+	s.handle("GET /v1/openapi.json", s.handleOpenAPI)
 	return s
+}
+
+// route registers a handler at its canonical /v1 path and at the legacy
+// unversioned alias. Legacy responses carry `Deprecation: true` plus a Link
+// header naming the successor, so existing clients keep working while every
+// response points them at /v1.
+func (s *Server) route(method, path string, h http.HandlerFunc) {
+	s.handle(method+" /v1"+path, h)
+	s.handle(method+" "+path, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</v1`+r.URL.Path+`>; rel="successor-version"`)
+		h(w, r)
+	})
 }
 
 // AddGraph loads a source and registers it (the -graph preload path).
@@ -402,14 +431,153 @@ func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"algorithms": infos})
 }
 
-// runResponse is the POST /graphs/{name}/run/{algo} reply: the uniform
-// algorithm result plus query metadata.
+// runResponse is the single-source run reply: the uniform algorithm result
+// plus query metadata. Cached marks an LRU fast-path hit; Coalesced marks a
+// v1 response whose engine run was shared with concurrent requests through
+// the admission batcher (the values are bit-identical to a solo run either
+// way).
 type runResponse struct {
 	Graph      string  `json:"graph"`
 	Algorithm  string  `json:"algorithm"`
 	Cached     bool    `json:"cached"`
+	Coalesced  bool    `json:"coalesced,omitempty"`
 	DurationMS float64 `json:"duration_ms"`
 	algorithms.Result
+}
+
+// batchRunResponse is the multi-source reply of POST /v1/graphs/{name}/run:
+// one value series per requested source, in request order.
+type batchRunResponse struct {
+	Graph      string  `json:"graph"`
+	Algorithm  string  `json:"algorithm"`
+	DurationMS float64 `json:"duration_ms"`
+	algorithms.BatchResult
+}
+
+// runRequest is the POST /v1/graphs/{name}/run body — the whole query in one
+// document instead of spread across the path, the query string and the body.
+type runRequest struct {
+	// Algo names the registry algorithm to run.
+	Algo string `json:"algo"`
+	// Sources, when present, asks for one independent single-source run per
+	// listed vertex, executed as a multi-source block batch (batchable
+	// algorithms only). A one-element list keeps the scalar response shape
+	// and is eligible for admission coalescing with concurrent requests.
+	Sources []uint32 `json:"sources,omitempty"`
+	// Mode selects the SpMV kernel (auto, pull or push); empty means auto.
+	Mode string `json:"mode,omitempty"`
+	// Params carries the algorithm's own parameters, validated against its
+	// declared schema exactly like the legacy endpoint's body.
+	Params map[string]any `json:"params,omitempty"`
+	// TimeoutMS bounds the run's wall time; expiry returns 504.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Stream switches the response to NDJSON: one progress line per
+	// superstep, then a final line shaped like the blocking response.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// handleRunV1 is the unified v1 query endpoint. Requests without a sources
+// list behave exactly like the legacy per-algorithm endpoint (cache fast
+// path included). Requests with sources take the multi-source path: k
+// independent runs advanced as one block batch, bit-identical per source to
+// k solo runs. Single-source requests go through the admission batcher,
+// which coalesces concurrent compatible requests into shared block runs —
+// the LRU cache is deliberately not consulted on this path; shared sweeps,
+// not memoization, are the v1 dedup mechanism.
+func (s *Server) handleRunV1(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	g, err := s.reg.Get(name)
+	if err != nil {
+		writeError(w, errorCode(err), "%v", err)
+		return
+	}
+	var req runRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	spec, ok := algorithms.Lookup(req.Algo)
+	if !ok {
+		writeError(w, http.StatusNotFound, "%v: %q (have %v)", ErrAlgoNotFound, req.Algo, algorithms.Names())
+		return
+	}
+	params, err := spec.ParseParams(req.Params)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Mode != "" {
+		mode, err := graphmat.ParseMode(req.Mode)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid mode %q: want auto, pull or push", req.Mode)
+			return
+		}
+		params.Mode = mode
+	}
+	ctx := r.Context()
+	if req.TimeoutMS != 0 {
+		if req.TimeoutMS < 0 {
+			writeError(w, http.StatusBadRequest, "invalid timeout_ms %d: want a positive integer", req.TimeoutMS)
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	if len(req.Sources) == 0 {
+		// Scalar form — params may still carry source/sources the legacy way.
+		s.finishRun(ctx, w, g, name, req.Algo, params, req.Stream)
+		return
+	}
+	if !spec.Batchable {
+		writeError(w, http.StatusBadRequest, "algorithm %q has no source parameter to batch over; omit sources", req.Algo)
+		return
+	}
+	s.epMu.Lock()
+	s.modeRuns[params.Mode.String()]++
+	s.epMu.Unlock()
+	if req.Stream {
+		s.streamRunBatch(ctx, w, g, name, req.Algo, req.Sources, params)
+		return
+	}
+	start := time.Now()
+	if len(req.Sources) == 1 {
+		params.Source, params.Sources = req.Sources[0], nil
+		var res algorithms.Result
+		var coalesced bool
+		if s.batcher != nil {
+			res, coalesced, err = s.batcher.submit(ctx, g, req.Algo, params)
+		} else {
+			var batch algorithms.BatchResult
+			if batch, err = g.RunBatch(ctx, req.Algo, params, nil); err == nil {
+				res = algorithms.Result{Values: batch.Values[0], Stats: batch.Stats, Epoch: batch.Epoch}
+			}
+		}
+		if err != nil {
+			writeError(w, runErrorCode(err), "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, runResponse{
+			Graph:      name,
+			Algorithm:  req.Algo,
+			Coalesced:  coalesced,
+			DurationMS: ms(time.Since(start)),
+			Result:     res,
+		})
+		return
+	}
+	params.Source, params.Sources = 0, req.Sources
+	batch, err := g.RunBatch(ctx, req.Algo, params, nil)
+	if err != nil {
+		writeError(w, runErrorCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, batchRunResponse{
+		Graph:       name,
+		Algorithm:   req.Algo,
+		DurationMS:  ms(time.Since(start)),
+		BatchResult: batch,
+	})
 }
 
 // handleRun executes one query. The run inherits the request's context, so a
@@ -465,12 +633,20 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(n)*time.Millisecond)
 		defer cancel()
 	}
+	stream := q.Get("stream")
+	s.finishRun(ctx, w, g, name, algo, params, stream == "1" || stream == "true")
+}
+
+// finishRun executes a fully parsed scalar run: the per-mode tally, the
+// stream branch, the cache fast path, the engine run, and the response. Both
+// the legacy path-parameter endpoint and the v1 unified endpoint end here.
+func (s *Server) finishRun(ctx context.Context, w http.ResponseWriter, g *GraphEntry, name, algo string, params algorithms.Params, stream bool) {
 	// Tally after all parameter validation: rejected requests must not skew
 	// the per-mode counters.
 	s.epMu.Lock()
 	s.modeRuns[params.Mode.String()]++
 	s.epMu.Unlock()
-	if stream := q.Get("stream"); stream == "1" || stream == "true" {
+	if stream {
 		s.streamRun(ctx, w, g, name, algo, params)
 		return
 	}
@@ -591,6 +767,49 @@ func (s *Server) streamRun(ctx context.Context, w http.ResponseWriter, g *GraphE
 	})
 }
 
+// streamRunBatch is streamRun's multi-source form: progress lines cover the
+// whole block run (per-superstep totals across every live column), the final
+// line is the batchRunResponse shape. The admission batcher and the result
+// cache are both bypassed — a streaming client wants to watch its own run.
+func (s *Server) streamRunBatch(ctx context.Context, w http.ResponseWriter, g *GraphEntry, name, algo string, sources []uint32, params algorithms.Params) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	writeLine := func(v any) error {
+		if err := enc.Encode(v); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+
+	params.Source, params.Sources = 0, sources
+	start := time.Now()
+	res, err := g.RunBatch(ctx, algo, params, func(info graphmat.IterationInfo) error {
+		return writeLine(streamProgress{
+			Iteration:  info.Iteration,
+			Active:     info.Active,
+			Sent:       info.Sent,
+			NextActive: info.NextActive,
+			ElapsedMS:  ms(info.Elapsed),
+			TotalMS:    ms(info.Total),
+		})
+	})
+	if err != nil {
+		_ = writeLine(map[string]string{"error": err.Error(), "reason": res.Stats.Reason.String()})
+		return
+	}
+	_ = writeLine(batchRunResponse{
+		Graph:       name,
+		Algorithm:   algo,
+		DurationMS:  ms(time.Since(start)),
+		BatchResult: res,
+	})
+}
+
 // GraphStats is the /stats view of one registered graph: its edge-set
 // version, update traffic, and the per-algorithm tallies.
 type GraphStats struct {
@@ -612,9 +831,12 @@ type statsResponse struct {
 	// ModeRuns counts /run requests by requested kernel mode; the engine-
 	// side view (supersteps actually pushed vs pulled, including how Auto
 	// resolved) is in each graph's per-algorithm engine stats.
-	ModeRuns map[string]int64      `json:"mode_runs"`
-	Cache    cacheStats            `json:"cache"`
-	Graphs   map[string]GraphStats `json:"graphs"`
+	ModeRuns map[string]int64 `json:"mode_runs"`
+	Cache    cacheStats       `json:"cache"`
+	// Batcher is the v1 admission layer's view: requests admitted, block
+	// runs dispatched, and how many requests shared a run with others.
+	Batcher batcherStats          `json:"batcher"`
+	Graphs  map[string]GraphStats `json:"graphs"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -639,11 +861,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	var bs batcherStats
+	if s.batcher != nil {
+		bs = s.batcher.stats()
+	}
 	writeJSON(w, http.StatusOK, statsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Requests:      reqs,
 		ModeRuns:      modes,
 		Cache:         s.cache.stats(),
+		Batcher:       bs,
 		Graphs:        graphs,
 	})
 }
