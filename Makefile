@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt lint staticcheck test race bench bench-engine bench-store bench-multi fuzz ci
+.PHONY: all build fmt lint graphmatlint staticcheck govulncheck test race bench bench-engine bench-store bench-multi fuzz ci
 
 all: build
 
@@ -14,14 +14,24 @@ build:
 fmt:
 	gofmt -w .
 
-# lint = the non-test static gates CI runs: formatting, vet and staticcheck.
-lint: staticcheck
+# lint = the non-test static gates CI runs: formatting, vet, staticcheck,
+# govulncheck and the graphmatlint invariant suite — identical commands to
+# the CI steps, so a green `make lint` locally means green lint in CI.
+lint: staticcheck govulncheck graphmatlint
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 
-# CI installs staticcheck; locally it runs only if already on PATH, so the
-# target works on offline machines.
+# graphmatlint statically enforces the engine's correctness invariants
+# (snapshot pin release, fold determinism, cancellation polling, operator
+# purity, hot-path call bans — see internal/lint). It runs through go vet's
+# unitchecker protocol so test files are covered and results are cached.
+graphmatlint:
+	$(GO) install ./cmd/graphmatlint
+	$(GO) vet -vettool="$$($(GO) env GOPATH)/bin/graphmatlint" ./...
+
+# CI installs staticcheck at the version pinned in tools/go.mod; locally it
+# runs only if already on PATH, so the target works on offline machines.
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
@@ -29,14 +39,24 @@ staticcheck:
 		echo "staticcheck not installed; skipping (CI runs it)"; \
 	fi
 
+# Same PATH gate as staticcheck: govulncheck needs the network for the vuln
+# database, so offline machines skip it and CI enforces it.
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI runs it)"; \
+	fi
+
 test:
 	$(GO) test ./...
 
 # internal/graph carries the versioned store (snapshot isolation under
 # concurrent updates + compaction); algorithms carries the store-backed
-# registry instances. Both matter under -race.
+# registry instances; bitvec backs every frontier the workers share and gen
+# feeds the parallel generators. All matter under -race.
 race:
-	$(GO) test -race ./internal/core/... ./internal/sparse/... ./internal/distributed/... ./internal/server/... ./internal/graph/... ./algorithms/...
+	$(GO) test -race ./internal/core/... ./internal/sparse/... ./internal/distributed/... ./internal/server/... ./internal/graph/... ./internal/bitvec/... ./internal/gen/... ./algorithms/...
 
 # Fuzz smoke over the graph readers: 10s per target (go test takes one
 # -fuzz pattern at a time). The targets also assert parallel parse ≡

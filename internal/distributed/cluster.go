@@ -24,9 +24,11 @@
 package distributed
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"graphmat/internal/bitvec"
 	"graphmat/internal/core"
@@ -200,7 +202,16 @@ func (c *Cluster[V, E]) Prop(v uint32) V {
 // distributed block holds Gᵀ rows; an In-direction run would ship the
 // transpose, which this simulation does not build).
 func Run[V, E, M, R any, P core.Program[V, E, M, R]](c *Cluster[V, E], p P, maxIterations int) (Stats, error) {
-	return RunMode[V, E, M, R, P](c, p, maxIterations, core.Auto)
+	return RunModeContext[V, E, M, R, P](context.Background(), c, p, maxIterations, core.Auto)
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is cancelled the
+// run stops at the next poll point — between supersteps, or between row-block
+// partitions inside a superstep — and returns the stats so far with ctx's
+// error. A cancelled superstep may leave vertex properties partially applied;
+// the cluster should not be reused for exact results afterwards.
+func RunContext[V, E, M, R any, P core.Program[V, E, M, R]](ctx context.Context, c *Cluster[V, E], p P, maxIterations int) (Stats, error) {
+	return RunModeContext[V, E, M, R, P](ctx, c, p, maxIterations, core.Auto)
 }
 
 // RunMode is Run with an explicit kernel mode: Pull and Push force one
@@ -211,8 +222,38 @@ func Run[V, E, M, R any, P core.Program[V, E, M, R]](c *Cluster[V, E], p P, maxI
 // core.MultiplyPartition dispatch the single-node engine uses, so all modes
 // produce bit-identical vertex state.
 func RunMode[V, E, M, R any, P core.Program[V, E, M, R]](c *Cluster[V, E], p P, maxIterations int, mode core.Mode) (Stats, error) {
+	return RunModeContext[V, E, M, R, P](context.Background(), c, p, maxIterations, mode)
+}
+
+// RunModeContext is RunMode with cooperative cancellation (see RunContext).
+// Cancellation is polled via an atomic stop flag — set by a watcher goroutine
+// when ctx's Done channel fires — at two granularities: once per superstep,
+// and once per row-block partition inside the kernel sweep, so a cancel never
+// waits for a full multi-partition sweep to finish.
+func RunModeContext[V, E, M, R any, P core.Program[V, E, M, R]](ctx context.Context, c *Cluster[V, E], p P, maxIterations int, mode core.Mode) (Stats, error) {
 	if p.Direction() != graph.Out {
 		return Stats{}, fmt.Errorf("distributed: only Direction Out programs are supported")
+	}
+
+	// Translate ctx into the engine's pollable stop-flag idiom. The watcher
+	// goroutine exits when the run returns (or when ctx fires), so a
+	// Background context costs nothing.
+	var stop atomic.Int32
+	if done := ctx.Done(); done != nil {
+		if ctx.Err() != nil {
+			// Already cancelled: set the flag synchronously so the run does
+			// no work at all, rather than racing the watcher goroutine.
+			stop.Store(1)
+		}
+		finished := make(chan struct{})
+		defer close(finished)
+		go func() {
+			select {
+			case <-done:
+				stop.Store(1)
+			case <-finished:
+			}
+		}()
 	}
 	if maxIterations <= 0 {
 		maxIterations = math.MaxInt
@@ -240,6 +281,9 @@ func RunMode[V, E, M, R any, P core.Program[V, E, M, R]](c *Cluster[V, E], p P, 
 	}
 
 	for iter := 0; iter < maxIterations; iter++ {
+		if stop.Load() != 0 {
+			return stats, ctx.Err()
+		}
 		stats.Supersteps++
 
 		// Phase 1: local SendMessage fragments.
@@ -304,6 +348,9 @@ func RunMode[V, E, M, R any, P core.Program[V, E, M, R]](c *Cluster[V, E], p P, 
 			y.Reset()
 			var localEdges int64
 			for _, part := range nd.parts {
+				if stop.Load() != 0 {
+					break
+				}
 				e, _ := core.MultiplyPartition(stepMode, part, x, nd.props, p, y)
 				localEdges += e
 			}
@@ -321,6 +368,11 @@ func RunMode[V, E, M, R any, P core.Program[V, E, M, R]](c *Cluster[V, E], p P, 
 			mu.Unlock()
 		})
 		stats.EdgesProcessed += edges
+		if stop.Load() != 0 {
+			// A cancel mid-sweep leaves this superstep partial; report it as
+			// cancelled rather than letting an empty frontier read as done.
+			return stats, ctx.Err()
+		}
 		if active == 0 {
 			break
 		}

@@ -54,9 +54,22 @@ func NewStore[V, E any](adj *sparse.COO[E], opts Options) (*Store[V, E], error) 
 	return s, nil
 }
 
-// Acquire pins and returns the current snapshot. The caller must Release it
-// when done; the snapshot's graph is valid (and frozen at its epoch)
-// regardless of concurrent updates or compactions.
+// Acquire pins and returns the current snapshot. The snapshot's graph is
+// valid (and frozen at its epoch) regardless of concurrent updates or
+// compactions for as long as the pin is held.
+//
+// Every Acquire obligates the caller to exactly one Snapshot.Release on
+// every path out of the acquiring code — early returns and error branches
+// included — unless ownership of the snapshot is handed to another owner
+// who will release it. The idiomatic form is:
+//
+//	snap := store.Acquire()
+//	defer snap.Release()
+//
+// A leaked pin never fails loudly: it silently keeps the superseded epoch's
+// memory reachable and makes StoreStats.Pinned drift upward. The snappin
+// analyzer (internal/lint, run by `make lint` and CI) enforces this contract
+// statically.
 func (s *Store[V, E]) Acquire() *Snapshot[V, E] {
 	sn := s.cur.Load()
 	sn.pins.Add(1)
@@ -179,7 +192,13 @@ func (sn *Snapshot[V, E]) Graph() *Graph[V, E] { return sn.g }
 // Epoch reports the snapshot's edge-set version.
 func (sn *Snapshot[V, E]) Epoch() uint64 { return sn.g.epoch }
 
-// Release unpins the snapshot. Release exactly once per Acquire.
+// Release unpins the snapshot. Call it exactly once per Acquire: releasing
+// twice corrupts the pin accounting (the counts go negative and a compaction
+// may reclaim an epoch another holder still reads), and never releasing
+// leaks the epoch's memory for the store's lifetime. Reads through the
+// snapshot (Graph, Epoch, View) do not discharge the obligation — only
+// Release does. The snappin analyzer (internal/lint) checks the
+// release-on-every-path half of this contract at compile time.
 func (sn *Snapshot[V, E]) Release() {
 	sn.pins.Add(-1)
 	sn.store.pinned.Add(-1)

@@ -1,0 +1,206 @@
+// Package analysistest runs a graphmatlint analyzer over a fixture package
+// and checks its diagnostics against the fixture's expectations, in the
+// style of golang.org/x/tools/go/analysis/analysistest (which the repo does
+// not vendor): a fixture line that should be flagged carries a trailing
+//
+//	// want "regexp"
+//
+// comment (several patterns allowed, each in its own quoted string). Every
+// diagnostic must match a want on its line and every want must be matched —
+// including the zero-diagnostic case, which is how the suppression-directive
+// fixtures prove the directive works.
+//
+// Fixtures live under testdata/src/<pkg>/ and may import only the standard
+// library; they are type-checked with the source importer so the suite runs
+// offline.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"graphmat/internal/lint"
+	"graphmat/internal/lint/analysis"
+)
+
+// sharedFset and srcImporter are shared across fixture loads: the source
+// importer re-type-checks stdlib packages from source, and one instance
+// caches them for the whole test binary.
+var (
+	sharedFset  = token.NewFileSet()
+	srcImporter = importer.ForCompiler(sharedFset, "source", nil)
+)
+
+// Run loads testdata/src/<pkg>, applies flag overrides to the analyzer
+// (restored afterwards), runs it through the shared suppression-aware
+// checker, and diffs diagnostics against the fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkg string, flags map[string]string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+
+	restore := map[string]string{}
+	for k, v := range flags {
+		f := a.Flags.Lookup(k)
+		if f == nil {
+			t.Fatalf("analyzer %s has no flag %q", a.Name, k)
+		}
+		restore[k] = f.Value.String()
+		if err := f.Value.Set(v); err != nil {
+			t.Fatalf("setting %s.%s=%q: %v", a.Name, k, v, err)
+		}
+	}
+	defer func() {
+		for k, v := range restore {
+			a.Flags.Lookup(k).Value.Set(v)
+		}
+	}()
+
+	fset := sharedFset
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", dir, err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: srcImporter}
+	typesPkg, err := conf.Check(pkg, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", pkg, err)
+	}
+
+	findings, err := lint.Check([]*analysis.Analyzer{a}, fset, files, typesPkg, info)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkg, err)
+	}
+
+	wants := collectWants(t, fset, files)
+
+	for _, f := range findings {
+		key := wantKey{filepath.Base(f.Pos.Filename), f.Pos.Line}
+		matched := false
+		for i, w := range wants[key] {
+			if w != nil && w.re.MatchString(f.Message) {
+				matched = true
+				wants[key][i] = nil // each want matches one diagnostic
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", f.Pos, f.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if w != nil {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re *regexp.Regexp
+}
+
+// wantRe matches a want comment; the patterns are Go-quoted strings.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// collectWants extracts every `// want "re" ["re" ...]` comment, keyed by
+// (file, line).
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[wantKey][]*want {
+	t.Helper()
+	out := map[wantKey][]*want{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := wantKey{filepath.Base(pos.Filename), pos.Line}
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					if rest[0] != '"' {
+						t.Fatalf("%s: malformed want comment near %q (patterns must be quoted strings)", pos, rest)
+					}
+					end := quotedEnd(rest)
+					if end < 0 {
+						t.Fatalf("%s: unterminated want pattern %q", pos, rest)
+					}
+					pat, err := strconv.Unquote(rest[:end])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, rest[:end], err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: want pattern does not compile: %v", pos, err)
+					}
+					out[key] = append(out[key], &want{re: re})
+					rest = strings.TrimSpace(rest[end:])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// quotedEnd returns the index just past the closing quote of the leading
+// double-quoted (possibly escaped) string in s, or -1.
+func quotedEnd(s string) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return i + 1
+		}
+	}
+	return -1
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}

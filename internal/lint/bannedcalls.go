@@ -1,0 +1,121 @@
+package lint
+
+// bannedcalls is the blunt instrument of the suite: a configurable deny-list
+// of calls for hot-path packages. The engine's per-edge and per-entry code
+// (internal/sparse, internal/bitvec, the internal/core kernels and drivers)
+// must not reach for wall clocks, formatted printing, or panics outside
+// validation — each is either a per-call allocation, a syscall, or a control
+// transfer that has no place inside a fold.
+//
+// Allowances, because a deny-list without them just breeds directives:
+//
+//   - functions whose name marks them as construction or validation (init,
+//     New*, Must*, *valid*, *check*, *parse*) may panic and format: that is
+//     where precondition failures are supposed to be loud;
+//   - conventional formatting methods (String, Error, GoString, Format,
+//     MarshalJSON, UnmarshalJSON) may format: they are cold by contract;
+//   - test files are exempt.
+//
+// Anything else needs an inline //lint:graphmat bannedcalls <why> directive;
+// the engine drivers' per-superstep timing reads carry exactly that.
+
+import (
+	"flag"
+	"go/ast"
+	"strings"
+
+	"graphmat/internal/lint/analysis"
+)
+
+// BannedcallsAnalyzer is the bannedcalls analyzer.
+var BannedcallsAnalyzer = newBannedcalls()
+
+func newBannedcalls() *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "bannedcalls",
+		Doc: "deny-list calls (time.Now, fmt.Sprintf, panic, ...) in hot-path packages\n\n" +
+			"Hot-path code pays for every clock read, format and panic on every\n" +
+			"edge or entry. The list is configurable; violations need a justified\n" +
+			"suppression directive.",
+		Run: runBannedcalls,
+	}
+	a.Flags.Init("bannedcalls", flag.ContinueOnError)
+	a.Flags.String("pkgs", "graphmat/internal/sparse,graphmat/internal/bitvec,graphmat/internal/core",
+		"comma-separated package scope (path or suffix) the deny-list applies to")
+	a.Flags.String("calls",
+		"time.Now,time.Since,fmt.Sprintf,fmt.Sprint,fmt.Sprintln,fmt.Printf,fmt.Print,fmt.Println,math/rand.*,math/rand/v2.*,panic",
+		"comma-separated banned calls: pkgpath.Func, pkgpath.* or a builtin name")
+	return a
+}
+
+func runBannedcalls(pass *analysis.Pass) error {
+	scope := pass.Analyzer.Flags.Lookup("pkgs").Value.String()
+	if !pkgInScope(pass.Pkg.Path(), scope) {
+		return nil
+	}
+	banned := strings.Split(pass.Analyzer.Flags.Lookup("calls").Value.String(), ",")
+
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || allowedHost(fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				obj := calleeOf(pass.TypesInfo, call)
+				if obj == nil {
+					return true
+				}
+				qualified := obj.Name()
+				if obj.Pkg() != nil {
+					qualified = obj.Pkg().Path() + "." + obj.Name()
+				}
+				for _, b := range banned {
+					b = strings.TrimSpace(b)
+					if b == "" {
+						continue
+					}
+					hit := qualified == b
+					if pre, ok := strings.CutSuffix(b, ".*"); ok && obj.Pkg() != nil {
+						hit = obj.Pkg().Path() == pre
+					}
+					if hit {
+						pass.Reportf(call.Pos(), "call to %s is banned in hot-path package %s (justify with //lint:graphmat bannedcalls <why> if deliberate)",
+							qualified, pass.Pkg.Path())
+						break
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// allowedHost reports whether a function is one where panics and formatting
+// are conventional: constructors/validators and formatting methods.
+func allowedHost(fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	if name == "init" || strings.HasPrefix(name, "New") || strings.HasPrefix(name, "Must") ||
+		strings.HasPrefix(name, "must") {
+		return true
+	}
+	lower := strings.ToLower(name)
+	if strings.Contains(lower, "valid") || strings.Contains(lower, "check") || strings.Contains(lower, "parse") {
+		return true
+	}
+	if fd.Recv != nil {
+		switch name {
+		case "String", "Error", "GoString", "Format", "MarshalJSON", "UnmarshalJSON":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,219 @@
+package lint
+
+// A miniature intra-function control-flow graph, one node per statement.
+// snappin walks it to prove a pinned snapshot is released on every path; the
+// builder therefore errs toward *extra* edges (a spurious "path" can at worst
+// cause a finding that a justification directive settles, while a missing
+// edge would hide a real leak is the wrong way around — extra edges create
+// false positives, so each construct below is wired to the real Go control
+// flow, and functions using constructs the builder does not model (goto,
+// fallthrough) are skipped entirely rather than approximated).
+
+import (
+	"go/ast"
+)
+
+type cfgNode struct {
+	stmt ast.Stmt // nil for the synthetic exit node
+	// terminates marks statements that abandon the function abnormally
+	// (panic, os.Exit, t.Fatal): paths ending there are not leak-checked,
+	// since deferred cleanup and process death make pin accounting moot.
+	terminates bool
+	succs      []*cfgNode
+}
+
+type funcCFG struct {
+	nodes map[ast.Stmt]*cfgNode
+	exit  *cfgNode
+	ok    bool // false: function uses goto/fallthrough, analysis must skip it
+}
+
+type cfgBuilder struct {
+	cfg *funcCFG
+	// terminatesStmt reports whether a statement abnormally ends the
+	// function (injected so the builder stays type-info-free).
+	terminatesStmt func(ast.Stmt) bool
+	// loop stack for break/continue; labeled entries carry their label.
+	loops []loopFrame
+}
+
+type loopFrame struct {
+	label       string
+	brk, cont   *cfgNode
+	isSwitchSel bool // switch/select: break applies, continue does not
+}
+
+// buildCFG constructs the CFG for a function body. The returned graph's ok
+// field is false when the body uses control flow the builder does not model.
+func buildCFG(body *ast.BlockStmt, terminates func(ast.Stmt) bool) *funcCFG {
+	b := &cfgBuilder{
+		cfg:            &funcCFG{nodes: map[ast.Stmt]*cfgNode{}, exit: &cfgNode{}, ok: true},
+		terminatesStmt: terminates,
+	}
+	b.stmts(body.List, b.cfg.exit, "")
+	return b.cfg
+}
+
+func (b *cfgBuilder) node(s ast.Stmt) *cfgNode {
+	n := &cfgNode{stmt: s}
+	b.cfg.nodes[s] = n
+	return n
+}
+
+// stmts wires a statement list, returning its entry node; control leaving
+// the list flows to succ. label names the statement a LabeledStmt is
+// wrapping, for labeled break/continue.
+func (b *cfgBuilder) stmts(list []ast.Stmt, succ *cfgNode, label string) *cfgNode {
+	entry := succ
+	for i := len(list) - 1; i >= 0; i-- {
+		lbl := ""
+		if i == 0 {
+			lbl = label
+		}
+		entry = b.stmt(list[i], entry, lbl)
+	}
+	return entry
+}
+
+// stmt wires one statement, returning its entry node; control falling out of
+// it flows to succ.
+func (b *cfgBuilder) stmt(s ast.Stmt, succ *cfgNode, label string) *cfgNode {
+	switch s := s.(type) {
+	case *ast.LabeledStmt:
+		n := b.node(s)
+		n.succs = []*cfgNode{b.stmt(s.Stmt, succ, s.Label.Name)}
+		return n
+
+	case *ast.BlockStmt:
+		return b.stmts(s.List, succ, "")
+
+	case *ast.ReturnStmt:
+		n := b.node(s)
+		n.succs = []*cfgNode{b.cfg.exit}
+		return n
+
+	case *ast.BranchStmt:
+		n := b.node(s)
+		switch s.Tok.String() {
+		case "break":
+			if t := b.findLoop(s.Label, false); t != nil {
+				n.succs = []*cfgNode{t.brk}
+			} else {
+				b.cfg.ok = false
+			}
+		case "continue":
+			if t := b.findLoop(s.Label, true); t != nil {
+				n.succs = []*cfgNode{t.cont}
+			} else {
+				b.cfg.ok = false
+			}
+		default: // goto, fallthrough
+			b.cfg.ok = false
+		}
+		return n
+
+	case *ast.IfStmt:
+		n := b.node(s)
+		thenEntry := b.stmts(s.Body.List, succ, "")
+		n.succs = []*cfgNode{thenEntry}
+		if s.Else != nil {
+			n.succs = append(n.succs, b.stmt(s.Else, succ, ""))
+		} else {
+			n.succs = append(n.succs, succ)
+		}
+		return b.withInit(s.Init, n)
+
+	case *ast.ForStmt:
+		n := b.node(s) // the condition check
+		var post *cfgNode
+		if s.Post != nil {
+			post = b.stmt(s.Post, n, "")
+		} else {
+			post = n
+		}
+		b.loops = append(b.loops, loopFrame{label: label, brk: succ, cont: post})
+		bodyEntry := b.stmts(s.Body.List, post, "")
+		b.loops = b.loops[:len(b.loops)-1]
+		n.succs = []*cfgNode{bodyEntry, succ}
+		return b.withInit(s.Init, n)
+
+	case *ast.RangeStmt:
+		n := b.node(s)
+		b.loops = append(b.loops, loopFrame{label: label, brk: succ, cont: n})
+		bodyEntry := b.stmts(s.Body.List, n, "")
+		b.loops = b.loops[:len(b.loops)-1]
+		n.succs = []*cfgNode{bodyEntry, succ}
+		return n
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		n := b.node(s)
+		var body *ast.BlockStmt
+		var init ast.Stmt
+		switch s := s.(type) {
+		case *ast.SwitchStmt:
+			body, init = s.Body, s.Init
+		case *ast.TypeSwitchStmt:
+			body, init = s.Body, s.Init
+		case *ast.SelectStmt:
+			body = s.Body
+		}
+		b.loops = append(b.loops, loopFrame{label: label, brk: succ, isSwitchSel: true})
+		hasDefault := false
+		for _, cc := range body.List {
+			var stmts []ast.Stmt
+			switch cc := cc.(type) {
+			case *ast.CaseClause:
+				stmts = cc.Body
+				if cc.List == nil {
+					hasDefault = true
+				}
+			case *ast.CommClause:
+				stmts = cc.Body
+				if cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			n.succs = append(n.succs, b.stmts(stmts, succ, ""))
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		_, isSelect := s.(*ast.SelectStmt)
+		if !hasDefault && (!isSelect || len(body.List) == 0) {
+			// A switch without default can match nothing; a select without
+			// default always takes some case (or blocks forever).
+			n.succs = append(n.succs, succ)
+		}
+		return b.withInit(init, n)
+
+	default:
+		n := b.node(s)
+		if b.terminatesStmt != nil && b.terminatesStmt(s) {
+			n.terminates = true
+			return n
+		}
+		n.succs = []*cfgNode{succ}
+		return n
+	}
+}
+
+// withInit prepends an optional init statement (if/for/switch headers).
+func (b *cfgBuilder) withInit(init ast.Stmt, n *cfgNode) *cfgNode {
+	if init == nil {
+		return n
+	}
+	return b.stmt(init, n, "")
+}
+
+// findLoop resolves a break/continue target. needLoop excludes
+// switch/select frames (continue skips them).
+func (b *cfgBuilder) findLoop(label *ast.Ident, needLoop bool) *loopFrame {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		f := &b.loops[i]
+		if needLoop && f.isSwitchSel {
+			continue
+		}
+		if label == nil || f.label == label.Name {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package lint
+
+// detfold enforces the determinism precondition of every differential suite
+// in the repo: kernel results must be bit-identical across pull/push modes,
+// layered overlays and block columns, which holds only because the fold
+// never observes an iteration order Go does not guarantee. Inside the fold
+// packages (internal/core kernels, internal/sparse merge paths) the analyzer
+// forbids:
+//
+//   - ranging over a map: Go randomizes map iteration order per run, so any
+//     map-range feeding a fold (or building a structure a fold traverses)
+//     can produce run-to-run different results even on one machine;
+//   - sort.Slice: not stable, so elements comparing equal land in
+//     unspecified order; use sort.SliceStable or a total comparator and
+//     justify with a directive.
+//
+// Test files are exempt (tests may iterate maps to build expectations; the
+// differential suites are the runtime proof). A legitimate map-range — one
+// whose result is canonicalized afterwards — keeps its directive as
+// documentation of where determinism is re-established.
+
+import (
+	"flag"
+	"go/ast"
+	"go/types"
+
+	"graphmat/internal/lint/analysis"
+)
+
+// DetfoldAnalyzer is the detfold analyzer.
+var DetfoldAnalyzer = newDetfold()
+
+func newDetfold() *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "detfold",
+		Doc: "forbid nondeterministic iteration (map range, sort.Slice) in fold packages\n\n" +
+			"The kernel fold order is the engine's determinism contract: every\n" +
+			"mode and overlay must produce bit-identical results. Map iteration\n" +
+			"order and unstable sorts break that silently.",
+		Run: runDetfold,
+	}
+	a.Flags.Init("detfold", flag.ContinueOnError)
+	a.Flags.String("pkgs", "graphmat/internal/core,graphmat/internal/sparse",
+		"comma-separated package scope (path or suffix) the fold-determinism rules apply to")
+	return a
+}
+
+func runDetfold(pass *analysis.Pass) error {
+	scope := pass.Analyzer.Flags.Lookup("pkgs").Value.String()
+	if !pkgInScope(pass.Pkg.Path(), scope) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				t := pass.TypesInfo.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Map); ok {
+					pass.Reportf(n.Pos(),
+						"range over map %s iterates in nondeterministic order inside a fold package: iterate a sorted key slice instead",
+						types.TypeString(t, types.RelativeTo(pass.Pkg)))
+				}
+			case *ast.CallExpr:
+				if obj := calleeOf(pass.TypesInfo, n); obj != nil && obj.Pkg() != nil &&
+					obj.Pkg().Path() == "sort" && obj.Name() == "Slice" {
+					pass.Reportf(n.Pos(),
+						"sort.Slice is not stable: equal elements land in unspecified order inside a fold package; use sort.SliceStable or a total comparator")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

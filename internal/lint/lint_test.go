@@ -1,0 +1,98 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"graphmat/internal/lint"
+	"graphmat/internal/lint/analysistest"
+)
+
+// The fixture packages live under testdata/src/<name>; the scoped analyzers
+// get their pkgs flag pointed at the fixture package so it stands in for the
+// real tree. Each fixture contains a suppressed.go negative file proving the
+// //lint:graphmat directive silences that analyzer.
+
+func TestSnappin(t *testing.T) {
+	analysistest.Run(t, lint.SnappinAnalyzer, "snappin", nil)
+}
+
+func TestDetfold(t *testing.T) {
+	analysistest.Run(t, lint.DetfoldAnalyzer, "detfold", map[string]string{"pkgs": "detfold"})
+}
+
+func TestCtxpoll(t *testing.T) {
+	analysistest.Run(t, lint.CtxpollAnalyzer, "ctxpoll", map[string]string{"pkgs": "ctxpoll"})
+}
+
+func TestPurefold(t *testing.T) {
+	analysistest.Run(t, lint.PurefoldAnalyzer, "purefold", nil)
+}
+
+func TestBannedcalls(t *testing.T) {
+	analysistest.Run(t, lint.BannedcallsAnalyzer, "bannedcalls", map[string]string{"pkgs": "bannedcalls"})
+}
+
+// TestDirectiveValidation checks that the checker polices the directives
+// themselves: no justification and unknown analyzer names are findings even
+// with zero analyzers enabled.
+func TestDirectiveValidation(t *testing.T) {
+	src := `package p
+
+//lint:graphmat snappin
+var x = 1
+
+//lint:graphmat nosuch justified at length but naming no real analyzer
+var y = 2
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lint.Check(nil, fset, []*ast.File{f}, pkg, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(findings), findings)
+	}
+	for _, fd := range findings {
+		if fd.Analyzer != "directive" {
+			t.Errorf("finding attributed to %q, want \"directive\": %s", fd.Analyzer, fd)
+		}
+	}
+	if !strings.Contains(findings[0].Message, "requires a justification") {
+		t.Errorf("first finding = %q, want justification complaint", findings[0].Message)
+	}
+	if !strings.Contains(findings[1].Message, `unknown analyzer "nosuch"`) {
+		t.Errorf("second finding = %q, want unknown-analyzer complaint", findings[1].Message)
+	}
+}
+
+// TestAllOrder pins the suite roster: the vettool's flag surface is derived
+// from it, so accidental drops would silently stop enforcement.
+func TestAllOrder(t *testing.T) {
+	var names []string
+	for _, a := range lint.All() {
+		names = append(names, a.Name)
+	}
+	want := []string{"snappin", "detfold", "ctxpoll", "purefold", "bannedcalls"}
+	if strings.Join(names, " ") != strings.Join(want, " ") {
+		t.Fatalf("All() = %v, want %v", names, want)
+	}
+}

@@ -1,0 +1,400 @@
+package lint
+
+// snappin enforces the snapshot-pinning contract of the versioned store
+// (internal/graph): every Store.Acquire() must be paired with exactly one
+// Snapshot.Release() on EVERY path out of the acquiring function — early
+// returns and error branches included — unless the snapshot demonstrably
+// escapes to an owner who will release it (returned, stored, or passed to
+// another function). A leaked pin never crashes anything; it silently makes
+// StoreStats.Pinned drift and keeps superseded epochs' memory reachable
+// forever, which is exactly the class of bug a runtime differential suite
+// cannot catch. The check is flow-sensitive over the mini CFG in cfg.go.
+//
+// What counts, mechanically: a call to a method named Acquire (no
+// arguments) whose result type has a Release method. Reads through the
+// pinned value (snap.Graph(), snap.Epoch(), ...) do not discharge the
+// obligation; only Release, a defer of Release, or an ownership transfer
+// does.
+
+import (
+	"flag"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"graphmat/internal/lint/analysis"
+)
+
+// SnappinAnalyzer is the snappin analyzer.
+var SnappinAnalyzer = newSnappin()
+
+func newSnappin() *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "snappin",
+		Doc: "check that every Store.Acquire() pin is Release()d on all paths\n\n" +
+			"A pinned snapshot must be released exactly once per acquire (see\n" +
+			"Snapshot.Release). The analyzer follows every control-flow path from\n" +
+			"the acquire; a path that can exit the function with the pin neither\n" +
+			"released, deferred, nor transferred elsewhere is a finding.",
+		Run: runSnappin,
+	}
+	a.Flags.Init("snappin", flag.ContinueOnError)
+	return a
+}
+
+func runSnappin(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkPins(pass, body)
+			}
+			return true // keep descending: nested FuncLits analyzed separately
+		})
+	}
+	return nil
+}
+
+// isAcquire reports whether call is an Acquire() whose result carries a
+// Release method — the pin-returning shape, independent of which package
+// defines the store (so fixtures and future stores are covered too).
+func isAcquire(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Acquire" || len(call.Args) != 0 {
+		return false
+	}
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	ms := types.NewMethodSet(tv.Type)
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == "Release" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkPins analyzes one function body. Nested function literals are
+// excluded here (ast.Inspect hands them to checkPins on their own).
+func checkPins(pass *analysis.Pass, body *ast.BlockStmt) {
+	type site struct {
+		call *ast.CallExpr
+		stmt ast.Stmt     // statement containing the acquire
+		obj  types.Object // the variable pinned into, nil if not a simple var
+		drop bool         // result provably discarded
+		done bool         // discharged at the acquire site itself (escape/immediate release)
+	}
+	var sites []site
+
+	// Locate acquire sites and classify how their result is consumed,
+	// without descending into nested function literals.
+	var stack []ast.Node
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		stack = append(stack, n)
+		if _, ok := n.(*ast.FuncLit); ok && len(stack) > 1 {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isAcquire(pass.TypesInfo, call) {
+			return true
+		}
+		s := site{call: call}
+		// Walk outward from the call to the enclosing statement, deciding
+		// ownership from the innermost meaningful syntactic context; once
+		// classified, keep walking only to locate the enclosing statement.
+		classified := false
+		for i := len(stack) - 2; i >= 0; i-- {
+			if classified {
+				if st, ok := stack[i].(ast.Stmt); ok {
+					s.stmt = st
+					break
+				}
+				continue
+			}
+			switch parent := stack[i].(type) {
+			case *ast.AssignStmt:
+				s.stmt = parent
+				if len(parent.Lhs) == 1 && len(parent.Rhs) == 1 && parent.Rhs[0] == ast.Expr(call) {
+					if id, ok := parent.Lhs[0].(*ast.Ident); ok {
+						if id.Name == "_" {
+							s.drop = true
+						} else if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							s.obj = obj
+						} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+							s.obj = obj
+						}
+					} else {
+						s.done = true // stored through a selector/index: ownership transferred
+					}
+				} else {
+					s.done = true // multi-assign or nested: treat as transferred
+				}
+			case *ast.ExprStmt:
+				s.stmt = parent
+				if parent.X == ast.Expr(call) {
+					s.drop = true // bare store.Acquire(): pin dropped on the floor
+				} else {
+					s.done = true // e.g. f(store.Acquire()): callee owns it
+				}
+			case *ast.SelectorExpr:
+				// store.Acquire().Release() — immediately discharged;
+				// store.Acquire().Graph() — pin dropped, graph kept: a leak.
+				if parent.X == ast.Expr(call) {
+					if parent.Sel.Name == "Release" {
+						s.done = true
+					} else {
+						s.drop = true
+					}
+					classified = true
+				}
+			case ast.Stmt:
+				// Any other statement context (return, defer, range, if
+				// init...): the value flows somewhere that takes ownership,
+				// or is immediately released.
+				s.stmt = parent
+				s.done = true
+			}
+			if s.stmt != nil {
+				break
+			}
+		}
+		if s.stmt != nil {
+			sites = append(sites, s)
+		}
+		return true
+	}
+	stack = stack[:0]
+	for _, st := range body.List {
+		ast.Inspect(st, walk)
+	}
+	if len(sites) == 0 {
+		return
+	}
+
+	cfg := buildCFG(body, func(s ast.Stmt) bool { return stmtTerminates(pass.TypesInfo, s) })
+
+	for _, s := range sites {
+		if s.drop && !s.done {
+			pass.Reportf(s.call.Pos(), "snapshot pin is never released: the result of Acquire() is discarded or used transiently")
+			continue
+		}
+		if s.done || s.obj == nil {
+			continue
+		}
+		if !cfg.ok {
+			continue // un-modeled control flow (goto/fallthrough): skip, don't guess
+		}
+		start, ok := cfg.nodes[s.stmt]
+		if !ok {
+			continue
+		}
+		if leakPath(pass, cfg, start, s.obj) {
+			pass.Reportf(s.call.Pos(),
+				"snapshot pinned here can leak: %s is not released on every path (add defer %s.Release() or release before each return)",
+				s.obj.Name(), s.obj.Name())
+		}
+	}
+}
+
+// stmtTerminates reports statements that abnormally end the function: panic,
+// os.Exit, runtime.Goexit, testing's Fatal/Skip family, log.Fatal*.
+func stmtTerminates(info *types.Info, s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	obj := calleeOf(info, call)
+	if obj == nil {
+		return false
+	}
+	switch obj.Name() {
+	case "panic", "Exit", "Goexit", "Fatal", "Fatalf", "Fatalln", "FailNow", "Skip", "Skipf", "SkipNow":
+		return true
+	}
+	return false
+}
+
+// pinEvent classifies what one statement does to the pinned variable.
+type pinEvent int
+
+const (
+	pinNone    pinEvent = iota
+	pinRelease          // v.Release() called (or deferred)
+	pinEscape           // v handed to someone else: argument, return, store, capture
+)
+
+// stmtPinEvent inspects the parts of a statement that execute AT its CFG
+// node (compound statements contribute only their headers; their bodies are
+// separate nodes) for uses of obj.
+func stmtPinEvent(info *types.Info, s ast.Stmt, obj types.Object) pinEvent {
+	var roots []ast.Node
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		roots = []ast.Node{s.Cond}
+	case *ast.ForStmt:
+		if s.Cond != nil {
+			roots = []ast.Node{s.Cond}
+		}
+	case *ast.RangeStmt:
+		roots = []ast.Node{s.X}
+	case *ast.SwitchStmt:
+		if s.Tag != nil {
+			roots = []ast.Node{s.Tag}
+		}
+	case *ast.TypeSwitchStmt:
+		roots = []ast.Node{s.Assign}
+	case *ast.LabeledStmt, *ast.SelectStmt:
+		// headers carry no expressions
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			roots = append(roots, r)
+		}
+	default:
+		roots = []ast.Node{s}
+	}
+	ev := pinNone
+	for _, root := range roots {
+		if e := exprPinEvent(info, root, obj); e > ev {
+			ev = e
+		}
+	}
+	return ev
+}
+
+// exprPinEvent walks one expression tree looking for uses of obj.
+// v.Release() is a release; v.AnyOtherMethod() is a neutral read; v compared
+// to nil is neutral; every other appearance (argument, return operand,
+// right-hand side, composite literal, closure capture, &v, channel send)
+// conservatively transfers ownership.
+func exprPinEvent(info *types.Info, root ast.Node, obj types.Object) pinEvent {
+	ev := pinNone
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok || info.Uses[id] != obj {
+			return true
+		}
+		switch classifyPinUse(stack, id) {
+		case pinRelease:
+			ev = pinRelease // release dominates: the obligation is met
+			return true
+		case pinEscape:
+			if ev != pinRelease {
+				ev = pinEscape
+			}
+		}
+		return true
+	})
+	return ev
+}
+
+// classifyPinUse decides what one identifier occurrence does with the pin,
+// from its innermost enclosing expressions. stack[len-1] is the ident.
+func classifyPinUse(stack []ast.Node, id *ast.Ident) pinEvent {
+	if len(stack) < 2 {
+		return pinEscape
+	}
+	parent := stack[len(stack)-2]
+	if sel, ok := parent.(*ast.SelectorExpr); ok && sel.X == ast.Expr(id) {
+		// v.M — a method access. Called? Look one level further out.
+		if len(stack) >= 3 {
+			if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && call.Fun == ast.Expr(sel) {
+				if sel.Sel.Name == "Release" {
+					return pinRelease
+				}
+				return pinNone // neutral read through the pin (Graph(), Epoch(), ...)
+			}
+		}
+		return pinNone // bare field/method read
+	}
+	if bin, ok := parent.(*ast.BinaryExpr); ok {
+		// Comparisons (v == nil, v != old) read the pointer, not the pin.
+		switch bin.Op {
+		case token.EQL, token.NEQ:
+			return pinNone
+		}
+	}
+	if as, ok := parent.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if lhs == ast.Expr(id) {
+				return pinNone // reassignment ends tracking of the old value elsewhere
+			}
+		}
+	}
+	return pinEscape
+}
+
+// leakPath reports whether some path from the acquire node reaches the
+// function exit without the pin being released, deferred, or escaping.
+func leakPath(pass *analysis.Pass, cfg *funcCFG, start *cfgNode, obj types.Object) bool {
+	type state struct {
+		n        *cfgNode
+		released bool
+	}
+	seen := map[state]bool{}
+	var dfs func(st state) bool
+	dfs = func(st state) bool {
+		if seen[st] {
+			return false
+		}
+		seen[st] = true
+		n := st.n
+		if n == cfg.exit {
+			return !st.released
+		}
+		if n.stmt != nil && !st.released {
+			// defer v.Release() inside the statement counts: walk the whole
+			// statement for defers (they register for all later exits).
+			switch ev := stmtPinEvent(pass.TypesInfo, n.stmt, obj); ev {
+			case pinRelease:
+				st.released = true
+			case pinEscape:
+				return false // ownership transferred: this path is fine
+			}
+		}
+		if n.terminates {
+			return false
+		}
+		for _, succ := range n.succs {
+			if dfs(state{succ, st.released}) {
+				return true
+			}
+		}
+		return false
+	}
+	// Start from the acquire statement's successors: the acquire statement
+	// itself already ran.
+	st := state{start, false}
+	seen[st] = true
+	for _, succ := range start.succs {
+		if dfs(state{succ, false}) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,29 @@
+// Fixture for the bannedcalls analyzer: denied calls in hot-path code (the
+// test points the pkgs flag at this package), and the hosts where the same
+// calls are conventional and allowed.
+package bannedcalls
+
+import (
+	"fmt"
+	"time"
+)
+
+func hotKernel(xs []float64) float64 {
+	start := time.Now() // want "call to time.Now is banned"
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	_ = start
+	return total
+}
+
+func hotFormat(n int) string {
+	return fmt.Sprintf("n=%d", n) // want "call to fmt.Sprintf is banned"
+}
+
+func hotAbort(n int) {
+	if n < 0 {
+		panic("negative") // want "call to panic is banned"
+	}
+}

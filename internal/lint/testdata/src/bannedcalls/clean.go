@@ -1,0 +1,29 @@
+package bannedcalls
+
+import "fmt"
+
+// Allowed hosts: constructors, validators and formatting methods are where
+// panics and formatting belong. None of these may be flagged.
+
+func NewBuffer(n int) []float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("bannedcalls: negative size %d", n))
+	}
+	return make([]float64, n)
+}
+
+func checkBounds(i, n int) {
+	if i >= n {
+		panic("index out of range")
+	}
+}
+
+type Vec []float64
+
+func (v Vec) String() string {
+	return fmt.Sprintf("vec(%d)", len(v))
+}
+
+func plainArithmetic(a, b int) int {
+	return a*b + a
+}

@@ -1,0 +1,15 @@
+package bannedcalls
+
+import "time"
+
+// Negative fixture: deliberate coarse-grained timing with the justified
+// directive bannedcalls requires. No diagnostics in this file.
+
+func timedSweep(xs []float64) (float64, time.Duration) {
+	start := time.Now() //lint:graphmat bannedcalls superstep-granularity timing, one clock read per sweep
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total, time.Since(start) //lint:graphmat bannedcalls paired with the superstep clock read above
+}

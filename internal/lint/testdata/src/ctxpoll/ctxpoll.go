@@ -1,0 +1,80 @@
+// Fixture for the ctxpoll analyzer: kernel-dispatching loops that do and do
+// not poll a stop signal (the test points the pkgs flag at this package).
+package ctxpoll
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// spmvPull stands in for a kernel entry point (matches the spmv* pattern).
+func spmvPull(part int) {}
+
+// parallelFor mirrors the engine's dispatch helper: it polls the stop flag
+// internally before every task, so routing through it with a non-nil stop
+// argument counts as polling.
+func parallelFor(nworkers, ntasks, sched int, stop *atomic.Int32, fn func(int)) {
+	for i := 0; i < ntasks; i++ {
+		if stop != nil && stop.Load() != 0 {
+			return
+		}
+		fn(i)
+	}
+}
+
+func sweepNoPoll(parts []int) {
+	for _, p := range parts { // want "without polling"
+		spmvPull(p)
+	}
+}
+
+func supersteps(parts []int, iters int) {
+	for it := 0; it < iters; it++ { // want "without polling"
+		for _, p := range parts { // want "without polling"
+			spmvPull(p)
+		}
+	}
+}
+
+func sweepWrapperNil(parts []int) {
+	for round := 0; round < 3; round++ { // want "without polling"
+		parallelFor(4, len(parts), 0, nil, func(i int) {
+			spmvPull(parts[i])
+		})
+	}
+}
+
+func sweepAtomic(parts []int, stop *atomic.Int32) {
+	for _, p := range parts {
+		if stop.Load() != 0 {
+			return
+		}
+		spmvPull(p)
+	}
+}
+
+func sweepCtx(ctx context.Context, parts []int) error {
+	for _, p := range parts {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		spmvPull(p)
+	}
+	return nil
+}
+
+func sweepWrapper(parts []int, stop *atomic.Int32) {
+	for round := 0; round < 3; round++ {
+		parallelFor(4, len(parts), 0, stop, func(i int) {
+			spmvPull(parts[i])
+		})
+	}
+}
+
+func noKernelNoRule(parts []int) int {
+	total := 0
+	for _, p := range parts {
+		total += p
+	}
+	return total
+}

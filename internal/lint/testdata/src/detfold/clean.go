@@ -1,0 +1,22 @@
+package detfold
+
+import "sort"
+
+// Deterministic iteration is fine: slices, channels-free loops, stable sorts
+// and sort.Ints-style total orders.
+
+func sumSlice(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+func sortStable(xs []int) {
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+func sortTotal(xs []int) {
+	sort.Ints(xs)
+}

@@ -1,0 +1,25 @@
+// Fixture for the detfold analyzer: nondeterministic iteration inside a
+// fold-scoped package (the test points the pkgs flag at this package).
+package detfold
+
+import "sort"
+
+func sumMap(m map[int]int) int {
+	total := 0
+	for _, v := range m { // want "range over map"
+		total += v
+	}
+	return total
+}
+
+func collectKeys(m map[string][]int) []string {
+	var out []string
+	for k := range m { // want "range over map"
+		out = append(out, k)
+	}
+	return out
+}
+
+func sortEdges(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want "sort.Slice is not stable"
+}

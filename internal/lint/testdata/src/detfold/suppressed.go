@@ -1,0 +1,16 @@
+package detfold
+
+import "sort"
+
+// Negative fixture: a map range whose output is canonicalized immediately
+// after, with the justified directive that detfold requires. No diagnostics.
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//lint:graphmat detfold keys are sorted immediately below, restoring determinism
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,43 @@
+// Fixture for the purefold analyzer: semiring and vertex-program operator
+// sets with every class of impurity, plus pure and non-qualifying types.
+package purefold
+
+import "fmt"
+
+var totalAdds int
+var sink chan int
+
+type BadRing struct {
+	adds int
+}
+
+func (r *BadRing) Mul(a, b float64) float64 { return a * b }
+
+func (r *BadRing) Add(a, b float64) float64 {
+	r.adds++    // want "writes receiver state"
+	totalAdds++ // want "writes package-level state"
+	return a + b
+}
+
+func (r *BadRing) Identity() float64 {
+	_ = fmt.Sprintf("identity") // want "calls fmt.Sprintf"
+	return 0
+}
+
+type BadProg struct {
+	seen []int
+}
+
+func (p *BadProg) ProcessMessage(m, e int) int {
+	p.seen = append(p.seen, m) // want "writes receiver state"
+	return m + e
+}
+
+func (p *BadProg) Reduce(a, b int) int {
+	go func() {}() // want "starts a goroutine"
+	sink <- a      // want "sends on a channel"
+	if a > b {
+		return a
+	}
+	return b
+}

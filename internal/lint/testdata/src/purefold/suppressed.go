@@ -1,0 +1,15 @@
+package purefold
+
+// Negative fixture: an instrumented ring whose receiver write carries the
+// justified directive purefold requires. No diagnostics in this file.
+
+type AuditedRing struct{ adds int }
+
+func (r *AuditedRing) Mul(a, b int) int { return a * b }
+
+func (r *AuditedRing) Add(a, b int) int {
+	r.adds++ //lint:graphmat purefold debug-only ring, run single-worker under a build tag
+	return a + b
+}
+
+func (r *AuditedRing) Identity() int { return 0 }

@@ -1,0 +1,79 @@
+package snappin
+
+// Every compliant consumption pattern: deferred release, release on each
+// branch, immediate release, and the ownership transfers (returned, stored,
+// passed as an argument) that discharge the obligation without a local
+// Release. None of these lines may be flagged.
+
+func deferred(st *Store) int {
+	snap := st.Acquire()
+	defer snap.Release()
+	return snap.Epoch()
+}
+
+func releasedBothBranches(st *Store, cond bool) int {
+	snap := st.Acquire()
+	if cond {
+		snap.Release()
+		return 0
+	}
+	e := snap.Epoch()
+	snap.Release()
+	return e
+}
+
+func immediate(st *Store) {
+	st.Acquire().Release()
+}
+
+func transferReturn(st *Store) *Snapshot {
+	return st.Acquire()
+}
+
+func transferArg(st *Store) {
+	consume(st.Acquire())
+}
+
+func transferTrackedArg(st *Store) {
+	snap := st.Acquire()
+	consume(snap)
+}
+
+func consume(s *Snapshot) { s.Release() }
+
+type holder struct{ s *Snapshot }
+
+func transferStore(st *Store, h *holder) {
+	h.s = st.Acquire()
+}
+
+func panicPath(st *Store, bad bool) {
+	snap := st.Acquire()
+	if bad {
+		panic("bad")
+	}
+	snap.Release()
+}
+
+func loopRelease(st *Store, parts []int) int {
+	total := 0
+	for range parts {
+		snap := st.Acquire()
+		total += snap.Epoch()
+		snap.Release()
+	}
+	return total
+}
+
+func switchRelease(st *Store, mode int) int {
+	snap := st.Acquire()
+	defer snap.Release()
+	switch mode {
+	case 0:
+		return 0
+	case 1:
+		return snap.Epoch()
+	default:
+		return -1
+	}
+}

@@ -1,0 +1,76 @@
+// Fixture for the snappin analyzer: a miniature versioned store with the
+// Acquire/Release shape, and every way to leak a pin that the analyzer must
+// catch.
+package snappin
+
+type Graph struct{ n int }
+
+type Snapshot struct{ g *Graph }
+
+func (s *Snapshot) Release()      {}
+func (s *Snapshot) Graph() *Graph { return s.g }
+func (s *Snapshot) Epoch() int    { return 0 }
+
+type Store struct{ cur *Snapshot }
+
+func (st *Store) Acquire() *Snapshot { return st.cur }
+
+func leakOnEarlyReturn(st *Store, cond bool) int {
+	snap := st.Acquire() // want "not released on every path"
+	if cond {
+		return 0
+	}
+	snap.Release()
+	return 1
+}
+
+func leakNeverReleased(st *Store) int {
+	snap := st.Acquire() // want "not released on every path"
+	return snap.Epoch()
+}
+
+func leakOneBranch(st *Store, cond bool) int {
+	snap := st.Acquire() // want "not released on every path"
+	if cond {
+		snap.Release()
+		return 0
+	}
+	return snap.Epoch()
+}
+
+func dropped(st *Store) {
+	st.Acquire() // want "never released"
+}
+
+func droppedUnderscore(st *Store) {
+	_ = st.Acquire() // want "never released"
+}
+
+func chainedRead(st *Store) *Graph {
+	g := st.Acquire().Graph() // want "never released"
+	return g
+}
+
+func chainedReadReturn(st *Store) *Graph {
+	return st.Acquire().Graph() // want "never released"
+}
+
+func leakInClosure(st *Store) func() int {
+	return func() int {
+		snap := st.Acquire() // want "not released on every path"
+		return snap.Epoch()
+	}
+}
+
+func leakInLoopBreak(st *Store, parts []int) int {
+	total := 0
+	for _, p := range parts {
+		snap := st.Acquire() // want "not released on every path"
+		if p < 0 {
+			break
+		}
+		total += snap.Epoch()
+		snap.Release()
+	}
+	return total
+}

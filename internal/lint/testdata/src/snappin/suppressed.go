@@ -1,0 +1,20 @@
+package snappin
+
+// Negative fixture: the same leak shapes as snappin.go, silenced by a
+// justified suppression directive. The runner asserts this file produces no
+// diagnostics — proving both the trailing and the line-above directive forms
+// work.
+
+func suppressedDrop(st *Store) {
+	st.Acquire() //lint:graphmat snappin fixture: intentional leak kept to prove suppression works
+}
+
+func suppressedLeak(st *Store, cond bool) int {
+	//lint:graphmat snappin fixture: release handled by process teardown in this scenario
+	snap := st.Acquire()
+	if cond {
+		return 0
+	}
+	snap.Release()
+	return 1
+}

@@ -1,0 +1,12 @@
+// Tool-dependency module: pins the versions of the lint/vuln binaries CI
+// installs, without adding dependencies to the main (zero-dependency) module.
+// CI runs `go mod tidy && go install <tool>` in this directory; no go.sum is
+// committed because this module is never built offline.
+module graphmat/tools
+
+go 1.24
+
+require (
+	golang.org/x/vuln v1.1.4
+	honnef.co/go/tools v0.6.1 // staticcheck 2025.1.1
+)

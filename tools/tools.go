@@ -1,0 +1,11 @@
+//go:build tools
+
+// Package tools anchors the tool dependencies so `go mod tidy` keeps their
+// requirements in go.mod (the canonical tools-module pattern). The build tag
+// is never satisfied; nothing here compiles into anything.
+package tools
+
+import (
+	_ "golang.org/x/vuln/cmd/govulncheck"
+	_ "honnef.co/go/tools/cmd/staticcheck"
+)
