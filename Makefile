@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt lint graphmatlint staticcheck govulncheck test race bench bench-engine bench-store bench-multi fuzz ci
+.PHONY: all build fmt lint graphmatlint staticcheck govulncheck test race bench bench-engine bench-store bench-multi bench-snap fuzz ci
 
 all: build
 
@@ -56,7 +56,7 @@ test:
 # registry instances; bitvec backs every frontier the workers share and gen
 # feeds the parallel generators. All matter under -race.
 race:
-	$(GO) test -race ./internal/core/... ./internal/sparse/... ./internal/distributed/... ./internal/server/... ./internal/graph/... ./internal/bitvec/... ./internal/gen/... ./algorithms/...
+	$(GO) test -race ./internal/core/... ./internal/sparse/... ./internal/distributed/... ./internal/server/... ./internal/graph/... ./internal/bitvec/... ./internal/gen/... ./internal/snap/... ./algorithms/...
 
 # Fuzz smoke over the graph readers: 10s per target (go test takes one
 # -fuzz pattern at a time). The targets also assert parallel parse ≡
@@ -86,5 +86,12 @@ bench-store:
 # BFS/PPR run, behind BENCH_multi.json. Real measurement (1s per case).
 bench-multi:
 	$(GO) test -bench='^(BenchmarkBatchBFS|BenchmarkBatchPPR)' -benchtime=1s -run='^$$' .
+
+# The persistence baseline: snapshot write / mmap boot / parse+rebuild (the
+# restart ratio) plus WAL append and replay, behind BENCH_snap.json. Real
+# measurement (1s per case).
+bench-snap:
+	$(GO) test -bench='^(BenchmarkSnapWrite|BenchmarkSnapBoot|BenchmarkSnapParseBuild)$$' -benchtime=1s -run='^$$' .
+	$(GO) test -bench='^BenchmarkWAL' -benchtime=1s -run='^$$' ./internal/snap
 
 ci: build lint test race fuzz bench

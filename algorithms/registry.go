@@ -131,6 +131,18 @@ type Instance interface {
 	// Spec says Batchable: false). Like Run, not safe for concurrent use on
 	// one Instance.
 	RunBatch(ctx context.Context, p Params, obs Observer) (BatchResult, error)
+	// RunBatchPinned is RunBatch against a snapshot the caller already
+	// pinned with AcquirePin: the run executes on exactly that epoch's
+	// edge set, whatever updates landed since the pin was taken. The pin
+	// stays owned by the caller (Release after the call returns);
+	// algorithms with no source parameter return ErrBatchUnsupported.
+	RunBatchPinned(ctx context.Context, pin Pin, p Params, obs Observer) (BatchResult, error)
+	// AcquirePin pins the instance's current property-graph snapshot and
+	// hands ownership to the caller: exactly one Release per pin. The
+	// serving layer's admission batcher pins at admission time so a batch
+	// window that straddles an update still answers every waiter from the
+	// epoch its batch key promised.
+	AcquirePin() Pin
 	// NewScratch allocates the reusable engine workspace for this
 	// (algorithm, graph) pair, for callers that pool scratch across runs.
 	NewScratch() any
@@ -149,6 +161,26 @@ type Instance interface {
 	// StoreStats exposes the versioned store's counters (overlay size,
 	// compactions, pinned snapshots).
 	StoreStats() graphmat.StoreStats
+	// SnapImage captures a persistable GMATSNAP image of the property
+	// graph's current state, compacting any pending overlay first. tag is
+	// the serving layer's consistency mark (the raw master-copy epoch the
+	// image reflects), stored verbatim.
+	SnapImage(tag uint64) (*graphmat.SnapImage, error)
+	// OnCompact registers the property-graph store's persistent-mode hook:
+	// fn runs synchronously after every compaction publish, before the
+	// write that triggered it returns. See graphmat.Store.OnCompact for
+	// the constraints on fn.
+	OnCompact(fn func(epoch uint64))
+}
+
+// Pin is one pinned property-graph snapshot, held across calls so a run
+// can be scheduled now and executed later against the same epoch. Epoch
+// reports the pinned version; Release discharges the pin (exactly once).
+// Values are produced by Instance.AcquirePin and consumed by
+// Instance.RunBatchPinned.
+type Pin interface {
+	Epoch() uint64
+	Release()
 }
 
 // Spec is one registry entry.
@@ -165,6 +197,14 @@ type Spec struct {
 	// consumed (sorted, deduplicated, possibly symmetrized in place); pass
 	// a clone to keep the original.
 	Build func(adj *graphmat.COO[float32], partitions int) (Instance, error) `json:"-"`
+	// Open rebuilds the algorithm's instance from a persisted snapshot
+	// image of its property graph (written by Instance.SnapImage) without
+	// re-running Build's preprocessing or any partition construction: the
+	// image already IS the preprocessed, partitioned graph. This is the
+	// instant-restart path; results must be bit-identical to an instance
+	// Built from the original input — the snapshot differential suite
+	// asserts it for every registered algorithm.
+	Open func(img *graphmat.SnapImage) (Instance, error) `json:"-"`
 }
 
 // ParseParams validates raw key/value parameters (JSON-decoded: numbers as
@@ -337,6 +377,13 @@ func init() {
 			}
 			return &pagerankInstance{liveGraph: liveGraph[PRVertex]{store: st, kind: updDirected}}, nil
 		},
+		Open: func(img *graphmat.SnapImage) (Instance, error) {
+			st, err := graphmat.NewStoreFromImage[PRVertex](img)
+			if err != nil {
+				return nil, err
+			}
+			return &pagerankInstance{liveGraph: liveGraph[PRVertex]{store: st, kind: updDirected}}, nil
+		},
 	})
 	Register(Spec{
 		Name:        "bfs",
@@ -345,6 +392,13 @@ func init() {
 		Batchable:   true,
 		Build: func(adj *graphmat.COO[float32], partitions int) (Instance, error) {
 			st, err := NewBFSStore(adj, partitions)
+			if err != nil {
+				return nil, err
+			}
+			return &bfsInstance{liveGraph[uint32]{store: st, kind: updSymmetric}}, nil
+		},
+		Open: func(img *graphmat.SnapImage) (Instance, error) {
+			st, err := graphmat.NewStoreFromImage[uint32](img)
 			if err != nil {
 				return nil, err
 			}
@@ -363,6 +417,13 @@ func init() {
 			}
 			return &ssspInstance{liveGraph[float32]{store: st, kind: updDirected}}, nil
 		},
+		Open: func(img *graphmat.SnapImage) (Instance, error) {
+			st, err := graphmat.NewStoreFromImage[float32](img)
+			if err != nil {
+				return nil, err
+			}
+			return &ssspInstance{liveGraph[float32]{store: st, kind: updDirected}}, nil
+		},
 	})
 	Register(Spec{
 		Name:        "components",
@@ -370,6 +431,13 @@ func init() {
 		Params:      nil,
 		Build: func(adj *graphmat.COO[float32], partitions int) (Instance, error) {
 			st, err := NewCCStore(adj, partitions)
+			if err != nil {
+				return nil, err
+			}
+			return &componentsInstance{liveGraph: liveGraph[uint32]{store: st, kind: updSymmetric}}, nil
+		},
+		Open: func(img *graphmat.SnapImage) (Instance, error) {
+			st, err := graphmat.NewStoreFromImage[uint32](img)
 			if err != nil {
 				return nil, err
 			}
@@ -388,6 +456,13 @@ func init() {
 			}
 			return &pprInstance{liveGraph[PPRVertex]{store: st, kind: updDirected}}, nil
 		},
+		Open: func(img *graphmat.SnapImage) (Instance, error) {
+			st, err := graphmat.NewStoreFromImage[PPRVertex](img)
+			if err != nil {
+				return nil, err
+			}
+			return &pprInstance{liveGraph[PPRVertex]{store: st, kind: updDirected}}, nil
+		},
 	})
 	Register(Spec{
 		Name:        "reachability",
@@ -396,6 +471,13 @@ func init() {
 		Batchable:   true,
 		Build: func(adj *graphmat.COO[float32], partitions int) (Instance, error) {
 			st, err := NewReachabilityStore(adj, partitions)
+			if err != nil {
+				return nil, err
+			}
+			return &reachabilityInstance{liveGraph[uint32]{store: st, kind: updDirected}}, nil
+		},
+		Open: func(img *graphmat.SnapImage) (Instance, error) {
+			st, err := graphmat.NewStoreFromImage[uint32](img)
 			if err != nil {
 				return nil, err
 			}
@@ -414,6 +496,13 @@ func init() {
 			}
 			return &widestInstance{liveGraph[float32]{store: st, kind: updDirected}}, nil
 		},
+		Open: func(img *graphmat.SnapImage) (Instance, error) {
+			st, err := graphmat.NewStoreFromImage[float32](img)
+			if err != nil {
+				return nil, err
+			}
+			return &widestInstance{liveGraph[float32]{store: st, kind: updDirected}}, nil
+		},
 	})
 	Register(Spec{
 		Name:        "triangles",
@@ -426,6 +515,13 @@ func init() {
 			}
 			return &trianglesInstance{liveGraph: liveGraph[TCVertex]{store: st, kind: updUpperTriangle}}, nil
 		},
+		Open: func(img *graphmat.SnapImage) (Instance, error) {
+			st, err := graphmat.NewStoreFromImage[TCVertex](img)
+			if err != nil {
+				return nil, err
+			}
+			return &trianglesInstance{liveGraph: liveGraph[TCVertex]{store: st, kind: updUpperTriangle}}, nil
+		},
 	})
 	Register(Spec{
 		Name:        "hits",
@@ -433,6 +529,13 @@ func init() {
 		Params:      []ParamSpec{paramIters},
 		Build: func(adj *graphmat.COO[float32], partitions int) (Instance, error) {
 			st, err := NewHITSStore(adj, partitions)
+			if err != nil {
+				return nil, err
+			}
+			return &hitsInstance{liveGraph: liveGraph[HITSVertex]{store: st, kind: updDirected}}, nil
+		},
+		Open: func(img *graphmat.SnapImage) (Instance, error) {
+			st, err := graphmat.NewStoreFromImage[HITSVertex](img)
 			if err != nil {
 				return nil, err
 			}
@@ -456,6 +559,10 @@ func (noBatch) RunBatch(context.Context, Params, Observer) (BatchResult, error) 
 	return BatchResult{}, ErrBatchUnsupported
 }
 
+func (noBatch) RunBatchPinned(context.Context, Pin, Params, Observer) (BatchResult, error) {
+	return BatchResult{}, ErrBatchUnsupported
+}
+
 // batchSources resolves the source list of a RunBatch call: p.Sources, with
 // {p.Source} as the single-source fallback so every Run-able parameter set
 // is also RunBatch-able.
@@ -464,6 +571,18 @@ func batchSources(p Params) []uint32 {
 		return p.Sources
 	}
 	return []uint32{p.Source}
+}
+
+// pinnedSnap coerces a Pin handed to RunBatchPinned back to the instance's
+// concrete snapshot type. A mismatch means the caller pinned a different
+// instance's graph — a programming error surfaced as an error, not a panic,
+// because the serving layer routes pins across goroutines.
+func pinnedSnap[V any](pin Pin) (*graphmat.Snapshot[V, float32], error) {
+	s, ok := pin.(*graphmat.Snapshot[V, float32])
+	if !ok {
+		return nil, fmt.Errorf("algorithms: pin of type %T does not belong to this algorithm's property graph", pin)
+	}
+	return s, nil
 }
 
 // typedScratch coerces a pooled scratch value to the instance's workspace
@@ -674,9 +793,21 @@ func uintValues(s []uint32) []float64 {
 // RunBatch executes one BFS per source as a single multi-source block run;
 // per-source distances are bit-identical to single-source Run calls.
 func (i *bfsInstance) RunBatch(ctx context.Context, p Params, obs Observer) (BatchResult, error) {
-	sources := batchSources(p)
 	snap := i.store.Acquire()
 	defer snap.Release()
+	return i.runBatch(ctx, snap, p, obs)
+}
+
+func (i *bfsInstance) RunBatchPinned(ctx context.Context, pin Pin, p Params, obs Observer) (BatchResult, error) {
+	snap, err := pinnedSnap[uint32](pin)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	return i.runBatch(ctx, snap, p, obs)
+}
+
+func (i *bfsInstance) runBatch(ctx context.Context, snap *graphmat.Snapshot[uint32, float32], p Params, obs Observer) (BatchResult, error) {
+	sources := batchSources(p)
 	dists, stats, err := RunBFSBatch(ctx, snap.Graph(), sources, WithConfig(p.config()), WithObserver(obs))
 	values := make([][]float64, len(dists))
 	for s, d := range dists {
@@ -687,9 +818,21 @@ func (i *bfsInstance) RunBatch(ctx context.Context, p Params, obs Observer) (Bat
 
 // RunBatch executes one SSSP per source as a single multi-source block run.
 func (i *ssspInstance) RunBatch(ctx context.Context, p Params, obs Observer) (BatchResult, error) {
-	sources := batchSources(p)
 	snap := i.store.Acquire()
 	defer snap.Release()
+	return i.runBatch(ctx, snap, p, obs)
+}
+
+func (i *ssspInstance) RunBatchPinned(ctx context.Context, pin Pin, p Params, obs Observer) (BatchResult, error) {
+	snap, err := pinnedSnap[float32](pin)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	return i.runBatch(ctx, snap, p, obs)
+}
+
+func (i *ssspInstance) runBatch(ctx context.Context, snap *graphmat.Snapshot[float32, float32], p Params, obs Observer) (BatchResult, error) {
+	sources := batchSources(p)
 	dists, stats, err := RunSSSPBatch(ctx, snap.Graph(), sources, WithConfig(p.config()), WithObserver(obs))
 	values := make([][]float64, len(dists))
 	for s, d := range dists {
@@ -707,9 +850,21 @@ func (i *ssspInstance) RunBatch(ctx context.Context, p Params, obs Observer) (Ba
 // sources computes ONE rank vector personalized to the whole set, RunBatch
 // computes k independent vectors, one per source.
 func (i *pprInstance) RunBatch(ctx context.Context, p Params, obs Observer) (BatchResult, error) {
-	sources := batchSources(p)
 	snap := i.store.Acquire()
 	defer snap.Release()
+	return i.runBatch(ctx, snap, p, obs)
+}
+
+func (i *pprInstance) RunBatchPinned(ctx context.Context, pin Pin, p Params, obs Observer) (BatchResult, error) {
+	snap, err := pinnedSnap[PPRVertex](pin)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	return i.runBatch(ctx, snap, p, obs)
+}
+
+func (i *pprInstance) runBatch(ctx context.Context, snap *graphmat.Snapshot[PPRVertex, float32], p Params, obs Observer) (BatchResult, error) {
+	sources := batchSources(p)
 	values, stats, err := RunPersonalizedPageRankBatch(ctx, snap.Graph(), sources,
 		WithConfig(p.config()), WithIterations(p.Iterations), WithTolerance(p.Tolerance), WithRestartProb(p.RestartProb), WithObserver(obs))
 	return BatchResult{Sources: sources, Values: values, Stats: stats, Epoch: snap.Epoch()}, err
@@ -739,9 +894,21 @@ func (i *reachabilityInstance) RunContext(ctx context.Context, p Params, scratch
 	return Result{Values: uintValues(reached), Stats: stats, Epoch: snap.Epoch()}, err
 }
 func (i *reachabilityInstance) RunBatch(ctx context.Context, p Params, obs Observer) (BatchResult, error) {
-	sources := batchSources(p)
 	snap := i.store.Acquire()
 	defer snap.Release()
+	return i.runBatch(ctx, snap, p, obs)
+}
+
+func (i *reachabilityInstance) RunBatchPinned(ctx context.Context, pin Pin, p Params, obs Observer) (BatchResult, error) {
+	snap, err := pinnedSnap[uint32](pin)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	return i.runBatch(ctx, snap, p, obs)
+}
+
+func (i *reachabilityInstance) runBatch(ctx context.Context, snap *graphmat.Snapshot[uint32, float32], p Params, obs Observer) (BatchResult, error) {
+	sources := batchSources(p)
 	flags, stats, err := RunReachabilityBatch(ctx, snap.Graph(), sources, WithConfig(p.config()), WithObserver(obs))
 	values := make([][]float64, len(flags))
 	for s, f := range flags {
@@ -778,9 +945,21 @@ func (i *widestInstance) RunContext(ctx context.Context, p Params, scratch any, 
 	return Result{Values: values, Stats: stats, Epoch: snap.Epoch()}, err
 }
 func (i *widestInstance) RunBatch(ctx context.Context, p Params, obs Observer) (BatchResult, error) {
-	sources := batchSources(p)
 	snap := i.store.Acquire()
 	defer snap.Release()
+	return i.runBatch(ctx, snap, p, obs)
+}
+
+func (i *widestInstance) RunBatchPinned(ctx context.Context, pin Pin, p Params, obs Observer) (BatchResult, error) {
+	snap, err := pinnedSnap[float32](pin)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	return i.runBatch(ctx, snap, p, obs)
+}
+
+func (i *widestInstance) runBatch(ctx context.Context, snap *graphmat.Snapshot[float32, float32], p Params, obs Observer) (BatchResult, error) {
+	sources := batchSources(p)
 	widths, stats, err := RunWidestPathBatch(ctx, snap.Graph(), sources, WithConfig(p.config()), WithObserver(obs))
 	values := make([][]float64, len(widths))
 	for s, w := range widths {

@@ -127,6 +127,23 @@ func (l *liveGraph[V]) NumVertices() uint32 { return l.store.NumVertices() }
 // NumEdges reports the current snapshot's property edge count.
 func (l *liveGraph[V]) NumEdges() int64 { return l.store.NumEdges() }
 
+// SnapImage captures a persistable GMATSNAP image of the property graph,
+// compacting any pending overlay first (the snapshot format carries base
+// structures only; the WAL owns whatever landed since).
+func (l *liveGraph[V]) SnapImage(tag uint64) (*graphmat.SnapImage, error) {
+	return graphmat.StoreImage[V](l.store, tag)
+}
+
+// OnCompact registers the store's persistent-mode hook; see
+// graphmat.Store.OnCompact for the constraints on fn.
+func (l *liveGraph[V]) OnCompact(fn func(epoch uint64)) { l.store.OnCompact(fn) }
+
+// AcquirePin pins the current property-graph snapshot, transferring
+// ownership (and the one-Release obligation) to the caller.
+func (l *liveGraph[V]) AcquirePin() Pin {
+	return l.store.Acquire()
+}
+
 // NewRawEdgeLookup adapts a normalized raw adjacency (row-major sorted,
 // deduplicated — graphmat.NormalizeAdjacency) into the EdgeLookup oracle
 // ApplyUpdates needs. The adjacency must already reflect the batch being

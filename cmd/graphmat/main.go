@@ -15,6 +15,14 @@
 //	graphmat -algorithm bfs -graph social.mtx -source 0
 //	graphmat -algorithm bfs -graph social.mtx -sources 0,17,42
 //	graphmat -algorithm components -graph social.mtx
+//	graphmat snap inspect [-verify] web.snap
+//	graphmat snap convert [-algorithm pagerank] [-partitions N] web.mtx web.snap
+//
+// The snap subcommands work with GMATSNAP persistence files — the format
+// graphmatd's -data-dir checkpoints use. inspect decodes the header and
+// section table of a snapshot (with -verify adding the deep payload-CRC
+// pass); convert parses a graph file once and writes it as a snapshot, so
+// later boots mmap the arrays instead of re-parsing text.
 //
 // -sources runs one independent single-source query per listed vertex as a
 // multi-source block batch: the adjacency sweeps are shared across sources,
@@ -42,6 +50,12 @@ import (
 )
 
 func main() {
+	// The snap subcommands have their own flag sets and argument shapes, so
+	// they dispatch before the top-level flag.Parse.
+	if len(os.Args) > 1 && os.Args[1] == "snap" {
+		snapMain(os.Args[2:])
+		return
+	}
 	var (
 		algo     = flag.String("algorithm", "", strings.Join(append(algorithms.Names(), "cf", "degrees"), ", "))
 		path     = flag.String("graph", "", "graph file (.mtx, .bin, or text edge list)")
@@ -288,4 +302,123 @@ func printTopFloat(vals []float64, k int, what string) {
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "graphmat: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// snapMain dispatches the GMATSNAP tooling subcommands.
+func snapMain(args []string) {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "graphmat snap: want a subcommand: inspect or convert")
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "inspect":
+		snapInspect(args[1:])
+	case "convert":
+		snapConvert(args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "graphmat snap: unknown subcommand %q (want inspect or convert)\n", args[0])
+		os.Exit(2)
+	}
+}
+
+// snapInspect decodes a snapshot's header and section table; -verify adds
+// the deep payload-CRC pass over every section.
+func snapInspect(args []string) {
+	fs := flag.NewFlagSet("graphmat snap inspect", flag.ExitOnError)
+	verify := fs.Bool("verify", false, "recompute and check every section's payload CRC")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "graphmat snap inspect: want exactly one snapshot file")
+		os.Exit(2)
+	}
+	sf, err := graphmat.OpenSnap(fs.Arg(0))
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer sf.Close()
+	info := sf.Info()
+	fmt.Printf("%s: GMATSNAP v%d\n", info.Path, info.Version)
+	fmt.Printf("  epoch %d  tag %d\n", info.Epoch, info.Tag)
+	fmt.Printf("  %d x %d vertices, %d edges\n", info.NRows, info.NCols, info.NEdges)
+	fmt.Printf("  %s, %d partition(s)\n", describeDirections(info.Directions), info.Partitions)
+	fmt.Printf("  file %d bytes, payload %d bytes, %d section(s)\n", info.FileSize, info.DataBytes, len(info.Sections))
+	fmt.Printf("  %-8s %-4s %5s  %10s  %10s  %s\n", "kind", "dir", "part", "offset", "length", "crc")
+	for _, s := range info.Sections {
+		fmt.Printf("  %-8s %-4s %5d  %10d  %10d  %08x\n", s.Kind, s.Dir, s.Part, s.Offset, s.Length, s.CRC)
+	}
+	if *verify {
+		if err := sf.Verify(); err != nil {
+			fatal("verify: %v", err)
+		}
+		fmt.Println("  verify: all section CRCs match")
+	}
+}
+
+func describeDirections(dirs uint32) string {
+	switch dirs {
+	case 0:
+		return "raw adjacency image"
+	case 1:
+		return "directions out"
+	case 2:
+		return "directions in"
+	default:
+		return "directions out|in"
+	}
+}
+
+// snapConvert parses a graph file and writes it back as a GMATSNAP snapshot.
+// Without -algorithm the output is a raw adjacency image (the form the
+// daemon's master copy persists as); with -algorithm it is that algorithm's
+// fully built property graph, mmap-bootable without a rebuild.
+func snapConvert(args []string) {
+	fs := flag.NewFlagSet("graphmat snap convert", flag.ExitOnError)
+	algo := fs.String("algorithm", "", "snapshot this registry algorithm's built property graph (empty = raw adjacency image)")
+	partitions := fs.Int("partitions", 0, "matrix partitions for the build (0 = auto); used only with -algorithm")
+	jobs := fs.Int("j", 0, "parallel ingestion workers for loading the graph (0 = GOMAXPROCS, 1 = sequential)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "graphmat snap convert: want an input graph file and an output snapshot path")
+		os.Exit(2)
+	}
+	in, out := fs.Arg(0), fs.Arg(1)
+	start := time.Now()
+	adj, err := graphmat.LoadFileOptions(in, graphmat.LoadOptions{Parallelism: *jobs})
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("loaded %s: %d vertices, %d edges in %.3fs\n", in, adj.NRows, len(adj.Entries), time.Since(start).Seconds())
+
+	start = time.Now()
+	var img *graphmat.SnapImage
+	if *algo == "" {
+		// Raw image: the normalized adjacency triples, no built structures.
+		graphmat.NormalizeAdjacency(adj, *jobs)
+		img = &graphmat.SnapImage{
+			NRows:  adj.NRows,
+			NCols:  adj.NCols,
+			NEdges: uint64(len(adj.Entries)),
+			Fwd:    adj.Entries,
+		}
+	} else {
+		spec, ok := algorithms.Lookup(strings.ToLower(*algo))
+		if !ok {
+			fatal("unknown algorithm %q (have %s)", *algo, strings.Join(algorithms.Names(), ", "))
+		}
+		inst, err := spec.Build(adj, *partitions)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if img, err = inst.SnapImage(0); err != nil {
+			fatal("%v", err)
+		}
+	}
+	if err := graphmat.WriteSnap(out, img); err != nil {
+		fatal("%v", err)
+	}
+	st, err := os.Stat(out)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("wrote %s: %d bytes in %.3fs\n", out, st.Size(), time.Since(start).Seconds())
 }

@@ -6,6 +6,12 @@
 // Usage:
 //
 //	graphmatd -addr :8765 -graph web=data/web.mtx -graph social=rmat:scale=16,edgefactor=16,seed=1
+//	graphmatd -addr :8765 -data-dir /var/lib/graphmat -graph web=data/web.mtx
+//
+// With -data-dir, every registered graph checkpoints to an mmap-ready
+// snapshot plus a write-ahead log under <data-dir>/<name>/; on restart the
+// daemon boots from the snapshot (zero-copy map, no re-parse) and replays
+// the WAL, so acked edge updates survive crashes.
 //
 // Endpoints (all under /v1; the unversioned forms are deprecated aliases
 // answering with a Deprecation header):
@@ -61,6 +67,7 @@ func main() {
 		jobs       = flag.Int("j", 0, "ingestion workers for uploads and preloads (0 = GOMAXPROCS, 1 = sequential)")
 		maxUpload  = flag.Int64("max-upload", 0, "largest accepted POST /graphs upload in bytes (0 = 1 GiB)")
 		batchWin   = flag.Duration("batch-window", 0, "admission window coalescing concurrent single-source /v1 runs into multi-source batches (0 = 2ms default, negative disables)")
+		dataDir    = flag.String("data-dir", "", "persistence root: graphs checkpoint to mmap-ready snapshots + WAL under this directory and reboot from them instantly (empty = volatile)")
 		quiet      = flag.Bool("quiet", false, "suppress per-request logging")
 		graphs     graphFlags
 	)
@@ -78,6 +85,7 @@ func main() {
 		Workers:        *jobs,
 		MaxUploadBytes: *maxUpload,
 		BatchWindow:    *batchWin,
+		DataDir:        *dataDir,
 		Logger:         reqLogger,
 	})
 

@@ -41,6 +41,7 @@ import (
 
 	"graphmat/internal/core"
 	"graphmat/internal/graph"
+	"graphmat/internal/snap"
 	"graphmat/internal/sparse"
 )
 
@@ -354,3 +355,44 @@ func ApplyToAdjacency[E any](adj *COO[E], batch []Update[E]) (*COO[E], error) {
 func LookupEdge[E any](adj *COO[E], src, dst uint32) (E, bool) {
 	return graph.LookupEdge(adj, src, dst)
 }
+
+// SnapImage is the raw-array form of one graph snapshot in the GMATSNAP
+// persistence format (internal/snap): dimensions, epoch/tag marks, forward
+// (and, with the In direction, backward) triples, degree arrays, and every
+// per-partition DCSC array. Images round-trip through WriteSnap/OpenSnap;
+// when read back from an mmap'd file the arrays are zero-copy views into
+// the mapping.
+type SnapImage = snap.Image
+
+// SnapFile is an opened GMATSNAP snapshot: the mapping plus its zero-copy
+// SnapImage. Long-lived owners keep it for the process lifetime (views must
+// outlive every graph using them); short-lived ones Close it.
+type SnapFile = snap.Snapshot
+
+// SnapInfo summarizes an opened snapshot's header and section layout.
+type SnapInfo = snap.Info
+
+// StoreImage captures a persistable point-in-time image of the store's
+// current graph, compacting any pending overlay first. tag is a caller
+// consistency mark stored verbatim in the image (the serving layer stamps
+// the master-copy epoch the image reflects).
+func StoreImage[V any](s *Store[V, float32], tag uint64) (*SnapImage, error) {
+	return graph.StoreImage[V](s, tag)
+}
+
+// NewStoreFromImage rebuilds a versioned store from a snapshot image at the
+// image's epoch, adopting the image's arrays without copying or rebuilding
+// — the zero-copy boot path. The on-heap build (NewStore over the original
+// input) is the differential oracle for it.
+func NewStoreFromImage[V any](img *SnapImage) (*Store[V, float32], error) {
+	return graph.NewStoreFromImage[V](img)
+}
+
+// WriteSnap serializes an image to path crash-safely (temp file, fsync,
+// rename, directory fsync).
+func WriteSnap(path string, img *SnapImage) error { return snap.Write(path, img) }
+
+// OpenSnap maps a GMATSNAP file and returns it with O(header) validation;
+// the image's arrays are views into the mapping. Use SnapFile.Verify for
+// the deep payload-CRC pass.
+func OpenSnap(path string) (*SnapFile, error) { return snap.Open(path) }

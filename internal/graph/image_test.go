@@ -1,0 +1,116 @@
+package graph
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"graphmat/internal/snap"
+	"graphmat/internal/sparse"
+)
+
+func imageTestAdj() *sparse.COO[float32] {
+	adj := sparse.NewCOO[float32](64, 64)
+	for i := uint32(0); i < 63; i++ {
+		adj.Add(i, i+1, float32(i%7)+1)
+		adj.Add(i, (i*13+5)%64, float32(i%3)+0.5)
+	}
+	return adj
+}
+
+// TestStoreImageRoundTrip proves the persistence contract at the graph
+// layer: a store imaged, written to a GMATSNAP file, mapped back and
+// reassembled through NewStoreFromImage is structurally identical to the
+// original — same epoch, same triples, same degree arrays, same partition
+// arrays — and keeps accepting update batches afterwards.
+func TestStoreImageRoundTrip(t *testing.T) {
+	adj := imageTestAdj()
+	st, err := NewStore[uint32, float32](adj.Clone(), Options{Partitions: 3, Directions: Both})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Leave a pending overlay so StoreImage has something to compact, and
+	// hook OnCompact to assert the image path reports its fold.
+	var compactEpochs []uint64
+	st.OnCompact(func(epoch uint64) { compactEpochs = append(compactEpochs, epoch) })
+	if _, err := st.ApplyEdges([]Update[float32]{{Src: 0, Dst: 63, Val: 4.5}}); err != nil {
+		t.Fatal(err)
+	}
+
+	img, err := StoreImage[uint32](st, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Tag != 42 {
+		t.Errorf("tag = %d, want the writer's mark 42", img.Tag)
+	}
+	if img.Epoch != st.Epoch() {
+		t.Errorf("image epoch = %d, store epoch = %d", img.Epoch, st.Epoch())
+	}
+	if len(compactEpochs) != 1 || compactEpochs[0] != st.Epoch() {
+		t.Errorf("OnCompact fired with %v, want [%d]: StoreImage must report the fold it performs", compactEpochs, st.Epoch())
+	}
+
+	path := filepath.Join(t.TempDir(), "g.snap")
+	if err := snap.Write(path, img); err != nil {
+		t.Fatal(err)
+	}
+	sf, err := snap.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+
+	st2, err := NewStoreFromImage[uint32](sf.Image())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Epoch() != st.Epoch() || st2.NumVertices() != st.NumVertices() || st2.NumEdges() != st.NumEdges() {
+		t.Fatalf("loaded store = (epoch %d, %d vertices, %d edges), want (%d, %d, %d)",
+			st2.Epoch(), st2.NumVertices(), st2.NumEdges(), st.Epoch(), st.NumVertices(), st.NumEdges())
+	}
+
+	s1, s2 := st.Acquire(), st2.Acquire()
+	defer s1.Release()
+	defer s2.Release()
+	g1, g2 := s1.g, s2.g
+	if !reflect.DeepEqual(g1.fwd.Entries, g2.fwd.Entries) {
+		t.Error("forward triples differ after round trip")
+	}
+	if !reflect.DeepEqual(g1.bwd.Entries, g2.bwd.Entries) {
+		t.Error("backward triples differ after round trip")
+	}
+	if !reflect.DeepEqual(g1.outDeg, g2.outDeg) || !reflect.DeepEqual(g1.inDeg, g2.inDeg) {
+		t.Error("degree arrays differ after round trip")
+	}
+	if len(g1.outParts) != len(g2.outParts) || len(g1.inParts) != len(g2.inParts) {
+		t.Fatalf("partition counts differ: out %d/%d in %d/%d",
+			len(g1.outParts), len(g2.outParts), len(g1.inParts), len(g2.inParts))
+	}
+	for i := range g1.outParts {
+		p1, p2 := g1.outParts[i], g2.outParts[i]
+		if !reflect.DeepEqual(p1.JC, p2.JC) || !reflect.DeepEqual(p1.CP, p2.CP) ||
+			!reflect.DeepEqual(p1.IR, p2.IR) || !reflect.DeepEqual(p1.Val, p2.Val) {
+			t.Errorf("out partition %d arrays differ after round trip", i)
+		}
+	}
+
+	// The mapped base keeps taking updates like a built one.
+	if _, err := st2.ApplyEdges([]Update[float32]{{Src: 5, Dst: 0, Val: 1}, {Src: 0, Dst: 1, Del: true}}); err != nil {
+		t.Fatal(err)
+	}
+	if st2.Epoch() != st.Epoch()+1 {
+		t.Errorf("epoch after update on mapped store = %d, want %d", st2.Epoch(), st.Epoch()+1)
+	}
+}
+
+// TestImageRejectsRawForStore asserts the property-graph boot path refuses a
+// master-copy image, which has no partitions to assemble.
+func TestImageRejectsRawForStore(t *testing.T) {
+	raw := &snap.Image{NRows: 4, NCols: 4, NEdges: 1,
+		Fwd: []sparse.Triple[float32]{{Row: 0, Col: 1, Val: 1}}}
+	if _, err := NewStoreFromImage[uint32](raw); err == nil {
+		t.Fatal("raw adjacency image accepted as a property graph")
+	}
+}

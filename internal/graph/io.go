@@ -469,7 +469,15 @@ const (
 // count, edge count, then (src,dst,weight) little-endian triples. New files
 // should prefer WriteBinary2, whose section table lets readers fan chunks out
 // to workers.
+//
+// The V1 header has one dimension field, so only square matrices round-trip;
+// a rectangular coo is rejected rather than silently read back as NCols ==
+// NRows.
 func WriteBinary(w io.Writer, coo *sparse.COO[float32]) error {
+	if coo.NRows != coo.NCols {
+		return fmt.Errorf("binary graph: GMATBIN1 cannot represent a %dx%d matrix (one dimension field); use WriteBinary2",
+			coo.NRows, coo.NCols)
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(binMagic); err != nil {
 		return err
@@ -588,8 +596,8 @@ func parseBinaryV1(data []byte, opt LoadOptions) (*sparse.COO[float32], error) {
 	m := binary.LittleEndian.Uint64(data[12:20])
 	payload := data[binV1HeaderSize:]
 	if m > uint64(len(payload)/binRecordSize) {
-		return nil, fmt.Errorf("binary graph: truncated at edge %d: header claims %d edges, input holds %d",
-			len(payload)/binRecordSize, m, len(payload)/binRecordSize)
+		return nil, fmt.Errorf("binary graph: header claims %d edges, input holds %d",
+			m, len(payload)/binRecordSize)
 	}
 	coo := sparse.NewCOO[float32](n, n)
 	coo.Entries = make([]sparse.Triple[float32], m)

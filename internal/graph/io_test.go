@@ -160,8 +160,47 @@ func TestBinaryErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	trunc := buf.Bytes()[:buf.Len()-6]
-	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
-		t.Error("truncated body accepted")
+	// Truncation diagnostics name both sides of the mismatch — the claimed
+	// edge count and how many records the input actually holds — in both
+	// formats. (The V1 message used to repeat the holds count in the claims
+	// slot.)
+	_, err := ReadBinary(bytes.NewReader(trunc))
+	if err == nil {
+		t.Error("truncated V1 body accepted")
+	} else if !strings.Contains(err.Error(), "header claims 2 edges, input holds 1") {
+		t.Errorf("V1 truncation message = %q", err)
+	}
+	var buf2 bytes.Buffer
+	if err := WriteBinary2(&buf2, coo, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, err = ReadBinary(bytes.NewReader(buf2.Bytes()[:buf2.Len()-6]))
+	if err == nil {
+		t.Error("truncated V2 body accepted")
+	} else if !strings.Contains(err.Error(), "header claims 2 edges, input holds 1") {
+		t.Errorf("V2 truncation message = %q", err)
+	}
+
+	// GMATBIN1 has a single dimension field: a rectangular matrix must be
+	// rejected (pointing at WriteBinary2) rather than silently written as
+	// square and read back with the wrong NCols.
+	rect := sparse.NewCOO[float32](3, 2)
+	rect.Add(0, 1, 1)
+	if err := WriteBinary(&bytes.Buffer{}, rect); err == nil {
+		t.Error("WriteBinary accepted a 3x2 matrix")
+	} else if !strings.Contains(err.Error(), "WriteBinary2") {
+		t.Errorf("non-square rejection = %q, want a pointer at WriteBinary2", err)
+	}
+	var rectBuf bytes.Buffer
+	if err := WriteBinary2(&rectBuf, rect, 0); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&rectBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NRows != 3 || back.NCols != 2 {
+		t.Errorf("V2 rectangular round-trip = %dx%d, want 3x2", back.NRows, back.NCols)
 	}
 }
 

@@ -22,6 +22,10 @@ type Store[V, E any] struct {
 	mu  sync.Mutex // serializes writers: ApplyEdges, Compact
 	cur atomic.Pointer[Snapshot[V, E]]
 
+	// onCompact, when set, runs synchronously after every compaction
+	// publish — the store's persistent mode (see OnCompact).
+	onCompact func(epoch uint64)
+
 	batches     atomic.Int64
 	compactions atomic.Int64
 	pinned      atomic.Int64
@@ -112,7 +116,31 @@ func (s *Store[V, E]) ApplyEdges(batch []Update[E]) (ApplyResult, error) {
 	}
 	s.cur.Store(&Snapshot[V, E]{store: s, g: ng})
 	s.batches.Add(1)
+	if res.Compacted {
+		s.notifyCompact(ng.epoch)
+	}
 	return res, nil
+}
+
+// OnCompact registers the store's persistent-mode hook: fn runs
+// synchronously after every compaction publish (automatic from ApplyEdges,
+// explicit Compact, or the fold StoreImage performs), with the writer lock
+// held — so the write that compacts does not return before fn does, which
+// is what lets a persistence layer make "compacted" imply "durable". fn
+// must be fast and must not call back into the store's writer methods
+// (ApplyEdges, Compact, StoreImage); setting a flag or writing an already
+// captured image is the intended shape.
+func (s *Store[V, E]) OnCompact(fn func(epoch uint64)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onCompact = fn
+}
+
+// notifyCompact invokes the persistent-mode hook; callers hold s.mu.
+func (s *Store[V, E]) notifyCompact(epoch uint64) {
+	if s.onCompact != nil {
+		s.onCompact(epoch)
+	}
 }
 
 // baseNNZ is the base structures' stored entry count: the forward triples
@@ -143,8 +171,10 @@ func (s *Store[V, E]) Compact() {
 	if old.g.logLen == 0 {
 		return
 	}
-	s.cur.Store(&Snapshot[V, E]{store: s, g: old.g.compacted()})
+	ng := old.g.compacted()
+	s.cur.Store(&Snapshot[V, E]{store: s, g: ng})
 	s.compactions.Add(1)
+	s.notifyCompact(ng.epoch)
 }
 
 // StoreStats is a point-in-time view of the store for observability.

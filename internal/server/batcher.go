@@ -28,7 +28,10 @@ const defaultBatchWindow = 2 * time.Millisecond
 // batchKey identifies requests that may share one block run. The epoch is
 // part of the key so requests straddling an update batch never share a
 // snapshot they would disagree about; the params key has the source stripped
-// (that is the dimension being batched over).
+// (that is the dimension being batched over). The epoch is the instance
+// store's snapshot epoch, read from the pin taken at admission — the same
+// snapshot the flush will run on, so the promise the key makes is the one
+// the result keeps.
 type batchKey struct {
 	g      *GraphEntry
 	algo   string
@@ -42,10 +45,12 @@ func sharedParamsKey(p algorithms.Params) string {
 	return p.Key()
 }
 
-// pendingBatch is one open coalescing window: the sources gathered so far and
-// the completion the waiters block on.
+// pendingBatch is one open coalescing window: the sources gathered so far,
+// the snapshot pin taken when the window opened (the epoch every waiter was
+// promised by the batch key), and the completion the waiters block on.
 type pendingBatch struct {
 	p       algorithms.Params // shared non-source parameters
+	pin     algorithms.Pin    // admission-time snapshot; released by flush
 	sources []uint32
 	flushed bool
 	done    chan struct{}
@@ -63,6 +68,10 @@ type batcher struct {
 	submitted int64 // single-source requests admitted
 	batches   int64 // block runs dispatched
 	coalesced int64 // requests that shared a run with at least one other
+
+	// onFlush, when set, observes each dispatched block run's width — a test
+	// hook for asserting the admission cap.
+	onFlush func(width int)
 }
 
 func newBatcher(window time.Duration) *batcher {
@@ -82,19 +91,39 @@ func newBatcher(window time.Duration) *batcher {
 // ctx bounds only this caller's wait: a coalesced run is not canceled when
 // one of its waiters gives up, since the others still want the result.
 func (b *batcher) submit(ctx context.Context, g *GraphEntry, algo string, p algorithms.Params) (algorithms.Result, bool, error) {
-	key := batchKey{g: g, algo: algo, epoch: g.Epoch(), params: sharedParamsKey(p)}
+	ai, err := g.instance(algo)
+	if err != nil {
+		return algorithms.Result{}, false, err
+	}
+	// Pin the snapshot BEFORE keying: the epoch in the batch key and the
+	// epoch the flush runs against are then the same pinned snapshot by
+	// construction, so an update landing inside the open window cannot skew
+	// the batch onto a newer edge set than its waiters were promised.
+	pin := ai.inst.AcquirePin()
+	key := batchKey{g: g, algo: algo, epoch: pin.Epoch(), params: sharedParamsKey(p)}
 	b.mu.Lock()
 	b.submitted++
-	pb, ok := b.pending[key]
-	if !ok {
-		pb = &pendingBatch{p: p, done: make(chan struct{})}
+	pb, joined := b.pending[key]
+	if !joined {
+		pb = &pendingBatch{p: p, pin: pin, done: make(chan struct{})}
 		b.pending[key] = pb
 		time.AfterFunc(b.window, func() { b.flush(key, pb) })
 	}
 	idx := len(pb.sources)
 	pb.sources = append(pb.sources, p.Source)
 	full := len(pb.sources) >= graphmat.MaxBlockSources
+	if full {
+		// Close admission under the SAME lock that detected fullness:
+		// removing the batch from pending here means no later submit can
+		// append a 65th source in the gap before flush re-locks.
+		delete(b.pending, key)
+	}
 	b.mu.Unlock()
+	if joined {
+		// The open batch already holds the pin its key promises; this
+		// request's own pin was only needed to compute the key.
+		pin.Release()
+	}
 	if full {
 		// A full block flushes in the submitting goroutine: the run happens
 		// here, and the AfterFunc finds the batch already flushed.
@@ -115,9 +144,10 @@ func (b *batcher) submit(ctx context.Context, g *GraphEntry, algo string, p algo
 	}, len(pb.res.Sources) > 1, nil
 }
 
-// flush closes the batch's admission window and executes the block run.
-// Idempotent: the width-triggered flush and the timer both call it, the first
-// one wins. The run uses a background context — see submit.
+// flush closes the batch's admission window and executes the block run on
+// the snapshot pinned at admission, then releases the pin. Idempotent: the
+// width-triggered flush and the timer both call it, the first one wins. The
+// run uses a background context — see submit.
 func (b *batcher) flush(key batchKey, pb *pendingBatch) {
 	b.mu.Lock()
 	if pb.flushed {
@@ -135,8 +165,13 @@ func (b *batcher) flush(key batchKey, pb *pendingBatch) {
 	if len(p.Sources) > 1 {
 		b.coalesced += int64(len(p.Sources))
 	}
+	onFlush := b.onFlush
 	b.mu.Unlock()
-	pb.res, pb.err = key.g.RunBatch(context.Background(), key.algo, p, nil)
+	if onFlush != nil {
+		onFlush(len(p.Sources))
+	}
+	pb.res, pb.err = key.g.RunBatchPinned(context.Background(), key.algo, pb.pin, p, nil)
+	pb.pin.Release()
 	close(pb.done)
 }
 

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"graphmat"
+	"graphmat/algorithms"
+)
+
+// TestBatcherEpochPin is the regression test for the admission-epoch skew
+// bug: an update batch landing inside an open coalescing window must not
+// drag the pending block run onto the new snapshot. The batch key promised
+// its waiters the admission epoch, and the result must carry it.
+func TestBatcherEpochPin(t *testing.T) {
+	reg := NewRegistry(0, 1, "")
+	entry, err := reg.AddCOO("g", "seed", persistTestAdj(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newBatcher(150 * time.Millisecond)
+
+	type outcome struct {
+		res algorithms.Result
+		err error
+	}
+	first := make(chan outcome, 1)
+	go func() {
+		res, _, err := b.submit(context.Background(), entry, "bfs", algorithms.Params{Source: 0})
+		first <- outcome{res, err}
+	}()
+
+	// Wait for the window to open, then apply an update inside it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		b.mu.Lock()
+		open := len(b.pending) > 0
+		b.mu.Unlock()
+		if open {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("batch window never opened")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, _, err := entry.ApplyEdges([]algorithms.EdgeUpdate{{Src: 0, Dst: 40, Val: 1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	got := <-first
+	if got.err != nil {
+		t.Fatal(got.err)
+	}
+	if got.res.Epoch != 0 {
+		t.Errorf("in-window request ran at epoch %d, want the admission epoch 0", got.res.Epoch)
+	}
+
+	// A request admitted after the update keys — and runs — on the new epoch.
+	res, shared, err := b.submit(context.Background(), entry, "bfs", algorithms.Params{Source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared {
+		t.Error("post-update request joined a batch from the old epoch")
+	}
+	if res.Epoch != 1 {
+		t.Errorf("post-update request ran at epoch %d, want 1", res.Epoch)
+	}
+}
+
+// TestBatcherWidthCap is the regression test for the width-overflow bug:
+// under concurrent same-key submission, no dispatched block run may exceed
+// graphmat.MaxBlockSources, and every admitted request must be dispatched
+// exactly once. Admission used to close outside the fullness-detecting lock,
+// letting a racing submit slip a 65th source into a full batch.
+func TestBatcherWidthCap(t *testing.T) {
+	reg := NewRegistry(0, 1, "")
+	entry, err := reg.AddCOO("g", "seed", persistTestAdj(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newBatcher(100 * time.Millisecond)
+	var (
+		widthMu sync.Mutex
+		widths  []int
+	)
+	b.onFlush = func(width int) {
+		widthMu.Lock()
+		widths = append(widths, width)
+		widthMu.Unlock()
+	}
+
+	// Two full blocks and a remainder, all racing on one key.
+	n := 2*graphmat.MaxBlockSources + 3
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(src uint32) {
+			defer wg.Done()
+			if _, _, err := b.submit(context.Background(), entry, "bfs", algorithms.Params{Source: src}); err != nil {
+				errs <- err
+			}
+		}(uint32(i % 64))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	widthMu.Lock()
+	defer widthMu.Unlock()
+	total := 0
+	for _, w := range widths {
+		if w > graphmat.MaxBlockSources {
+			t.Errorf("dispatched a block of width %d, cap is %d", w, graphmat.MaxBlockSources)
+		}
+		total += w
+	}
+	if total != n {
+		t.Errorf("dispatched %d sources across %d blocks, admitted %d", total, len(widths), n)
+	}
+	if st := b.stats(); st.Submitted != int64(n) {
+		t.Errorf("stats count %d submissions, want %d", st.Submitted, n)
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"graphmat/algorithms"
 	"graphmat/internal/counters"
 	"graphmat/internal/graph"
+	"graphmat/internal/snap"
 	"graphmat/internal/sparse"
 )
 
@@ -24,15 +26,19 @@ import (
 type Registry struct {
 	partitions int
 	workers    int
+	dataDir    string // persistence root; empty = in-memory only
 	mu         sync.RWMutex
 	graphs     map[string]*GraphEntry
 }
 
 // NewRegistry returns an empty registry. partitions is passed to every graph
 // build; 0 selects the engine default. workers is the ingestion parallelism
-// for file-backed sources; 0 means GOMAXPROCS.
-func NewRegistry(partitions, workers int) *Registry {
-	return &Registry{partitions: partitions, workers: workers, graphs: make(map[string]*GraphEntry)}
+// for file-backed sources; 0 means GOMAXPROCS. dataDir, when non-empty, is
+// the persistence root: each graph gets <dataDir>/<name> with GMATSNAP
+// checkpoints and a write-ahead log, and registration of a name that already
+// has a valid manifest boots from the mmap'd snapshots instead of parsing.
+func NewRegistry(partitions, workers int, dataDir string) *Registry {
+	return &Registry{partitions: partitions, workers: workers, dataDir: dataDir, graphs: make(map[string]*GraphEntry)}
 }
 
 // GraphEntry is one registered graph. The master adjacency is the raw edge
@@ -58,6 +64,11 @@ type GraphEntry struct {
 
 	mu    sync.Mutex
 	insts map[string]*algoInstance
+
+	// pers, when non-nil, makes the entry durable: WAL-before-ack on every
+	// update batch, compaction-driven checkpoints, mmap boot. Set before the
+	// entry is published, never changed after.
+	pers *persister
 }
 
 // algoInstance is one built (graph, algorithm) pair: the property graph, a
@@ -127,16 +138,43 @@ func (r *Registry) CheckName(name string) error {
 
 // Add loads a source and registers it under name. The name is validated
 // before the load so a bad or duplicate name cannot waste a multi-gigabyte
-// file parse.
+// file parse. With persistence enabled, a name whose directory holds a valid
+// manifest boots from the mmap'd snapshots (plus WAL replay) instead of
+// parsing the source; a damaged persisted state falls back to parsing.
 func (r *Registry) Add(name string, src Source) (*GraphEntry, error) {
 	if err := r.CheckName(name); err != nil {
 		return nil, err
+	}
+	if r.dataDir != "" {
+		dir := filepath.Join(r.dataDir, name)
+		if snap.HasManifest(dir) {
+			entry, err := r.openPersisted(name, src.Describe(), dir)
+			if err == nil {
+				return r.publish(entry)
+			}
+			// Unrecoverable persisted state: re-parse the source below and
+			// let the registration's fresh checkpoint overwrite it.
+		}
 	}
 	adj, err := src.LoadWorkers(r.workers)
 	if err != nil {
 		return nil, err
 	}
 	return r.AddCOO(name, src.Describe(), adj)
+}
+
+// publish registers a fully assembled entry under its name.
+func (r *Registry) publish(entry *GraphEntry) (*GraphEntry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.graphs[entry.name]; dup {
+		if entry.pers != nil {
+			entry.pers.closeAll()
+		}
+		return nil, fmt.Errorf("%w: %s", ErrGraphExists, entry.name)
+	}
+	r.graphs[entry.name] = entry
+	return entry, nil
 }
 
 // AddCOO registers already-parsed adjacency triples under name — the upload
@@ -158,13 +196,15 @@ func (r *Registry) AddCOO(name, source string, adj *sparse.COO[float32]) (*Graph
 		workers:    r.workers,
 		insts:      make(map[string]*algoInstance),
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, dup := r.graphs[name]; dup {
-		return nil, fmt.Errorf("%w: %s", ErrGraphExists, name)
+	if r.dataDir != "" {
+		// Registration is the entry's first durability point: master
+		// snapshot, empty WAL, CURRENT pointer. A name that cannot be made
+		// durable is rejected rather than silently registered volatile.
+		if err := r.initPersist(entry); err != nil {
+			return nil, err
+		}
 	}
-	r.graphs[name] = entry
-	return entry, nil
+	return r.publish(entry)
 }
 
 // Get looks a graph up by name.
@@ -262,10 +302,21 @@ func (g *GraphEntry) ApplyEdges(batch []algorithms.EdgeUpdate) (uint64, map[stri
 
 	g.adjMu.RLock()
 	cur := g.adj
+	curEpoch := g.epoch
 	g.adjMu.RUnlock()
 	next, err := graph.ApplyToAdjacency(cur, batch)
 	if err != nil {
 		return 0, nil, err
+	}
+	// Durability point: the validated batch goes to the write-ahead log —
+	// fsynced — BEFORE any in-memory state advances. A crash after this line
+	// replays the batch at boot; a crash before it never acknowledged the
+	// batch. A batch that cannot be logged is rejected whole, leaving every
+	// structure at the old epoch.
+	if g.pers != nil {
+		if err := g.pers.logBatch(curEpoch+1, batch); err != nil {
+			return 0, nil, err
+		}
 	}
 	// Ordering matters for the epoch-keyed result cache: the master swaps
 	// first (lazy instance builds and lookups must see the post-batch edge
@@ -308,6 +359,14 @@ func (g *GraphEntry) ApplyEdges(batch []algorithms.EdgeUpdate) (uint64, map[stri
 	g.updates += int64(len(batch))
 	epoch := g.epoch
 	g.adjMu.Unlock()
+	// If the batch compacted some instance's overlay (the OnCompact hooks
+	// set the dirty flag), rotate the generation while still under updMu:
+	// snapshot files at this epoch, fresh WAL, atomic CURRENT flip. The WAL
+	// the batch just landed in is retired only after its contents are in the
+	// snapshots.
+	if g.pers != nil {
+		g.pers.maybeCheckpoint(g)
+	}
 	return epoch, results, fanErr
 }
 
@@ -325,23 +384,42 @@ func (g *GraphEntry) BuiltAlgorithms() []string {
 
 // instance returns the built (graph, algorithm) pair, building it on first
 // use. The build consumes a clone, so the master adjacency stays pristine
-// for the other algorithms' preprocessing.
+// for the other algorithms' preprocessing. On a persistent entry a fresh
+// build is captured into the current generation so the next boot opens it
+// instead of rebuilding.
 func (g *GraphEntry) instance(algo string) (*algoInstance, error) {
+	ai, built, err := g.lockedInstance(algo)
+	if err != nil {
+		return nil, err
+	}
+	if built && g.pers != nil {
+		// Outside g.mu (the capture takes the update lock, which nests
+		// outside the instance lock everywhere else).
+		g.updMu.Lock()
+		g.pers.onBuild(g, algo, ai)
+		g.updMu.Unlock()
+	}
+	return ai, nil
+}
+
+// lockedInstance is instance's cache-or-build core; built reports whether
+// this call performed the build.
+func (g *GraphEntry) lockedInstance(algo string) (*algoInstance, bool, error) {
 	spec, ok := algorithms.Lookup(algo)
 	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrAlgoNotFound, algo)
+		return nil, false, fmt.Errorf("%w: %s", ErrAlgoNotFound, algo)
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if ai, ok := g.insts[algo]; ok {
-		return ai, nil
+		return ai, false, nil
 	}
 	g.adjMu.RLock()
 	adj := g.adj.Clone()
 	g.adjMu.RUnlock()
 	inst, err := spec.Build(adj, g.partitions)
 	if err != nil {
-		return nil, fmt.Errorf("building %s graph for %s: %w", algo, g.name, err)
+		return nil, false, fmt.Errorf("building %s graph for %s: %w", algo, g.name, err)
 	}
 	ai := &algoInstance{spec: spec, inst: inst}
 	ai.pool.New = func() any {
@@ -349,7 +427,7 @@ func (g *GraphEntry) instance(algo string) (*algoInstance, error) {
 		return ai.inst.NewScratch()
 	}
 	g.insts[algo] = ai
-	return ai, nil
+	return ai, true, nil
 }
 
 // Run executes one query. It serializes on the instance (vertex state is
@@ -403,6 +481,28 @@ func (g *GraphEntry) RunBatch(ctx context.Context, algo string, p algorithms.Par
 	defer ai.runMu.Unlock()
 	start := time.Now()
 	res, err := ai.inst.RunBatch(ctx, p, obs)
+	if err != nil {
+		return res, err
+	}
+	ai.batchRuns.Add(1)
+	ai.batchedSources.Add(int64(len(res.Sources)))
+	ai.record(res.Stats, time.Since(start).Seconds())
+	return res, nil
+}
+
+// RunBatchPinned is RunBatch against a snapshot the caller pinned earlier
+// with the instance's AcquirePin — the admission batcher's path, where the
+// epoch promised at admission must be the epoch the run executes on. The
+// pin stays owned by the caller.
+func (g *GraphEntry) RunBatchPinned(ctx context.Context, algo string, pin algorithms.Pin, p algorithms.Params, obs algorithms.Observer) (algorithms.BatchResult, error) {
+	ai, err := g.instance(algo)
+	if err != nil {
+		return algorithms.BatchResult{}, err
+	}
+	ai.runMu.Lock()
+	defer ai.runMu.Unlock()
+	start := time.Now()
+	res, err := ai.inst.RunBatchPinned(ctx, pin, p, obs)
 	if err != nil {
 		return res, err
 	}

@@ -40,6 +40,12 @@ type Config struct {
 	// MaxUploadBytes caps the POST /graphs upload body; 0 means the default
 	// (1 GiB).
 	MaxUploadBytes int64
+	// DataDir, when non-empty, enables persistence: each graph gets
+	// <DataDir>/<name> holding GMATSNAP checkpoints, a write-ahead log, and
+	// a CURRENT manifest. Update batches are fsynced to the WAL before they
+	// are acknowledged, and re-registering a persisted name boots from the
+	// mmap'd snapshots instead of re-parsing and re-building.
+	DataDir string
 	// BatchWindow is the admission-batching window of the v1 run API:
 	// single-source requests for the same (graph, algorithm, epoch, params)
 	// arriving within it coalesce into one multi-source block run. 0 means
@@ -77,7 +83,7 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		cfg:      cfg,
-		reg:      NewRegistry(cfg.Partitions, cfg.Workers),
+		reg:      NewRegistry(cfg.Partitions, cfg.Workers, cfg.DataDir),
 		cache:    newResultCache(size),
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
@@ -822,6 +828,9 @@ type GraphStats struct {
 	// Algorithms is the per-(graph, algorithm) view, including each
 	// instance's versioned-store counters.
 	Algorithms map[string]AlgoStats `json:"algorithms"`
+	// Persist is the graph's durability view: boot provenance, checkpoint
+	// and WAL counters. Omitted when the server runs without -data-dir.
+	Persist *PersistStats `json:"persist,omitempty"`
 }
 
 // statsResponse is the GET /stats reply.
@@ -854,11 +863,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	graphs := make(map[string]GraphStats)
 	for _, n := range s.reg.Names() {
 		if g, err := s.reg.Get(n); err == nil {
-			graphs[n] = GraphStats{
+			gs := GraphStats{
 				Epoch:          g.Epoch(),
 				UpdatesApplied: g.UpdatesApplied(),
 				Algorithms:     g.Stats(),
 			}
+			if ps := g.PersistStats(); ps.Enabled {
+				gs.Persist = &ps
+			}
+			graphs[n] = gs
 		}
 	}
 	var bs batcherStats

@@ -1,0 +1,101 @@
+package snap
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// CurrentFile is the epoch-pointer file inside a graph's persistence
+// directory. It names the current generation's snapshot files and WAL, and
+// carries the previous generation inline so a reader finding the current
+// one damaged can fall back one checkpoint.
+const CurrentFile = "CURRENT"
+
+// Manifest is one persisted generation: the snapshot files written at one
+// checkpoint (keyed by component — "master" plus "algo:<name>" per built
+// algorithm instance), the WAL collecting batches accepted since, and the
+// entry epoch the snapshots are tagged with. Flipping CURRENT to a new
+// manifest is the atomic commit point of a checkpoint.
+type Manifest struct {
+	// Tag is the graph-entry epoch at checkpoint time; every snapshot file
+	// in Files carries the same tag, and WAL batches with Epoch > Tag are
+	// the ones not yet folded in.
+	Tag uint64 `json:"tag"`
+	// Updates is the entry's cumulative accepted-update-record count at
+	// checkpoint time, so restart restores monotone counters.
+	Updates int64 `json:"updates"`
+	// Files maps component name to snapshot file name (relative to the
+	// graph's persistence directory).
+	Files map[string]string `json:"files"`
+	// WAL is the log file (relative) collecting post-checkpoint batches.
+	WAL string `json:"wal"`
+	// Prev is the previous generation, kept one level deep: the fallback
+	// target if this generation's files fail validation.
+	Prev *Manifest `json:"prev,omitempty"`
+}
+
+// ReadManifest reads dir's CURRENT pointer. A missing file returns
+// os.ErrNotExist (wrapped): the graph has never been persisted.
+func ReadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, CurrentFile))
+	if err != nil {
+		return nil, fmt.Errorf("snap: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("snap: parsing %s: %w", filepath.Join(dir, CurrentFile), err)
+	}
+	return &m, nil
+}
+
+// HasManifest reports whether dir holds a CURRENT pointer.
+func HasManifest(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, CurrentFile))
+	return err == nil
+}
+
+// WriteManifest atomically flips dir's CURRENT pointer to m: temp file,
+// fsync, rename, directory fsync — the same discipline as Write, so a
+// crash leaves either the old pointer or the new one, never a torn file.
+// The stored Prev chain is clamped to one level; deeper history is the
+// caller's garbage to collect.
+func WriteManifest(dir string, m *Manifest) error {
+	clamped := *m
+	if clamped.Prev != nil {
+		prev := *clamped.Prev
+		prev.Prev = nil
+		clamped.Prev = &prev
+	}
+	data, err := json.MarshalIndent(&clamped, "", "  ")
+	if err != nil {
+		return fmt.Errorf("snap: %w", err)
+	}
+	data = append(data, '\n')
+	path := filepath.Join(dir, CurrentFile)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("snap: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("snap: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("snap: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("snap: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("snap: %w", err)
+	}
+	return syncDir(dir)
+}

@@ -1,0 +1,27 @@
+//go:build !unix
+
+package snap
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without mmap support falls back to reading the
+// whole file onto the heap. Views handed out by Open are then ordinary heap
+// slices — correct, just not zero-copy. The Go heap aligns large
+// allocations well past the 4-byte element requirement, so the same
+// unsafe.Slice reinterpretation applies.
+func mmapFile(f *os.File, size int) ([]byte, bool, error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	b := make([]byte, size)
+	if _, err := io.ReadFull(f, b); err != nil {
+		return nil, false, err
+	}
+	return b, false, nil
+}
+
+// munmapFile is a no-op for the heap fallback.
+func munmapFile([]byte) error { return nil }

@@ -1,0 +1,27 @@
+//go:build unix
+
+package snap
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. The mapping outlives the file
+// descriptor (the caller may close f immediately) and is shared with the
+// page cache, so a boot-time Open costs page-table setup, not I/O; pages
+// fault in as the engine first touches them. The returned flag reports
+// whether munmap must eventually be called.
+func mmapFile(f *os.File, size int) ([]byte, bool, error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, true, nil
+}
+
+// munmapFile releases a mapping returned by mmapFile.
+func munmapFile(b []byte) error { return syscall.Munmap(b) }
