@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt lint graphmatlint staticcheck govulncheck test race bench bench-engine bench-store bench-multi bench-snap fuzz ci
+.PHONY: all build fmt lint graphmatlint staticcheck govulncheck test race bench bench-engine bench-engine-record bench-store bench-multi bench-snap fuzz kernel-parity ci
 
 all: build
 
@@ -58,24 +58,41 @@ test:
 race:
 	$(GO) test -race ./internal/core/... ./internal/sparse/... ./internal/distributed/... ./internal/server/... ./internal/graph/... ./internal/bitvec/... ./internal/gen/... ./internal/snap/... ./algorithms/...
 
-# Fuzz smoke over the graph readers: 10s per target (go test takes one
-# -fuzz pattern at a time). The targets also assert parallel parse ≡
-# sequential parse on every input.
+# Fuzz smoke over the graph readers and the SIMD kernel backends: 10s per
+# target (go test takes one -fuzz pattern at a time). The reader targets
+# assert parallel parse ≡ sequential parse; the kernel targets assert every
+# SIMD backend ≡ the scalar oracle bit for bit.
 fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzReadMTX$$' -fuzztime=10s ./internal/graph
 	$(GO) test -run='^$$' -fuzz='^FuzzReadEdgeList$$' -fuzztime=10s ./internal/graph
 	$(GO) test -run='^$$' -fuzz='^FuzzReadBinary$$' -fuzztime=10s ./internal/graph
+	$(GO) test -run='^$$' -fuzz='^FuzzBitvecWords$$' -fuzztime=10s ./internal/kernels
+	$(GO) test -run='^$$' -fuzz='^FuzzDenseFold$$' -fuzztime=10s ./internal/kernels
+
+# The kernel backend parity matrix from CI: the differential suites under
+# each backend forced via GRAPHMAT_KERNEL (unsupported names fall back to
+# scalar, covering the fallback path).
+kernel-parity:
+	for backend in scalar avx2 neon; do \
+		GRAPHMAT_KERNEL=$$backend $(GO) test -count=1 ./internal/kernels ./internal/bitvec ./internal/core ./algorithms || exit 1; \
+	done
 
 # One pass over every benchmark: perf regressions that break a benchmark
 # surface as failures-to-run.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# The engine kernel baseline: the mode {pull, push, auto} × workers {1, 4, 8}
-# matrix behind BENCH_engine.json. Real measurement (1s per case), unlike the
-# bench smoke.
+# The engine kernel baseline: the backend {scalar, avx2|neon} × mode
+# {pull, push, auto} × workers {1, 4, 8} matrix behind BENCH_engine.json.
+# Real measurement (1s per case), unlike the bench smoke.
 bench-engine:
 	$(GO) test -bench='^BenchmarkEngine' -benchtime=1s -run='^$$' .
+
+# Re-record BENCH_engine.json: runs the same sweep and rewrites the JSON with
+# the environment — GOMAXPROCS, CPU feature flags, supported kernel backends
+# and the default selection — captured automatically.
+bench-engine-record:
+	$(GO) run ./cmd/benchrecord -out BENCH_engine.json
 
 # The versioned-store baseline: 1% update-batch application and overlay
 # compaction, behind BENCH_store.json. Real measurement (1s per case).
@@ -94,4 +111,4 @@ bench-snap:
 	$(GO) test -bench='^(BenchmarkSnapWrite|BenchmarkSnapBoot|BenchmarkSnapParseBuild)$$' -benchtime=1s -run='^$$' .
 	$(GO) test -bench='^BenchmarkWAL' -benchtime=1s -run='^$$' ./internal/snap
 
-ci: build lint test race fuzz bench
+ci: build lint test kernel-parity race fuzz bench

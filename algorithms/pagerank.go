@@ -59,6 +59,10 @@ func (p PageRankProgram) Direction() graphmat.Direction { return graphmat.Out }
 // destination property, enabling the backend's fast path.
 func (PageRankProgram) ProcessIgnoresDst() {}
 
+// ReducesBySumF64 declares the (+, passthrough) float64 fold, routing the
+// column folds through the SIMD kernel backends.
+func (PageRankProgram) ReducesBySumF64() {}
+
 // PageRankOptions configures a PageRank run.
 type PageRankOptions struct {
 	RestartProb   float64 // 0 means 0.15

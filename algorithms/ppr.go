@@ -69,6 +69,11 @@ func (PersonalizedPageRankProgram) Direction() graphmat.Direction { return graph
 // ProcessIgnoresDst declares the fast path.
 func (PersonalizedPageRankProgram) ProcessIgnoresDst() {}
 
+// ReducesBySumF64 declares the (+, passthrough) float64 fold — for both the
+// scalar SpMV and, through the Semiring half, the multi-source SpMM — routing
+// the column folds through the SIMD kernel backends.
+func (PersonalizedPageRankProgram) ReducesBySumF64() {}
+
 // PersonalizedPageRank ranks vertices by proximity to the given source set.
 // The graph must be built with NewPersonalizedPageRankGraph (or any
 // Graph[PPRVertex, float32]). Ranks are a probability distribution over

@@ -1,0 +1,192 @@
+// Command benchrecord re-records a benchmark baseline JSON: it runs a
+// benchmark matrix through `go test -bench` and rewrites the baseline file
+// with the runtime environment — GOOS/GOARCH, CPU model, GOMAXPROCS, the CPU
+// SIMD feature flags, the kernel backends the box supports and the one
+// selection picked — captured automatically instead of hand-edited.
+//
+// The default invocation is the engine kernel baseline behind `make
+// bench-engine-record`:
+//
+//	go run ./cmd/benchrecord -out BENCH_engine.json
+//
+// which runs the backend × mode × workers matrix of BenchmarkEngineBFS and
+// BenchmarkEnginePageRank (the backend dimension comes from the benchmarks
+// themselves, which sweep kernels.Supported()).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"graphmat/internal/kernels"
+)
+
+type benchEntry struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	MBPerS  float64 `json:"mb_per_s,omitempty"`
+}
+
+type environment struct {
+	GOOS           string `json:"goos"`
+	GOARCH         string `json:"goarch"`
+	CPU            string `json:"cpu"`
+	GOMAXPROCS     int    `json:"gomaxprocs"`
+	CPUFeatures    string `json:"cpu_features"`
+	KernelBackends string `json:"kernel_backends"`
+	KernelDefault  string `json:"kernel_default"`
+	Note           string `json:"note,omitempty"`
+}
+
+type baseline struct {
+	Description string       `json:"description"`
+	Recorded    string       `json:"recorded"`
+	Environment environment  `json:"environment"`
+	Benchmarks  []benchEntry `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_engine.json", "baseline file to rewrite")
+	bench := flag.String("bench", "^BenchmarkEngine", "go test -bench pattern")
+	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	note := flag.String("note", "", "extra note for the environment block")
+	desc := flag.String("description", "", "description field; default derives from the invocation")
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-bench="+*bench, "-benchtime="+*benchtime, "-run=^$", *pkg)
+	cmd.Stderr = os.Stderr
+	outPipe, err := cmd.StdoutPipe()
+	if err != nil {
+		fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		fatal(err)
+	}
+	var entries []benchEntry
+	sc := bufio.NewScanner(outPipe)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // keep the live bench output visible
+		if e, ok := parseBenchLine(line); ok {
+			entries = append(entries, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		fatal(fmt.Errorf("go test -bench: %w", err))
+	}
+	if len(entries) == 0 {
+		fatal(fmt.Errorf("no benchmark results parsed from go test output"))
+	}
+
+	description := *desc
+	if description == "" {
+		description = fmt.Sprintf(
+			"Engine kernel baseline: go test -bench '%s' -run '^$' -benchtime %s %s "+
+				"(GRAPHMAT_BENCH_SHIFT default -3 -> RMAT scale 11, edgefactor 16; BFS from the "+
+				"max-degree root, PageRank 10 fixed iterations). Matrix: kernel backend %s x "+
+				"mode {pull, push, auto} x workers {1, 4, 8}. Recorded by cmd/benchrecord.",
+			*bench, *benchtime, *pkg, backendSet())
+	}
+	b := baseline{
+		Description: description,
+		Recorded:    time.Now().Format("2006-01-02"),
+		Environment: environment{
+			GOOS:           runtime.GOOS,
+			GOARCH:         runtime.GOARCH,
+			CPU:            cpuModel(),
+			GOMAXPROCS:     runtime.GOMAXPROCS(0),
+			CPUFeatures:    kernels.CPUFeatures(),
+			KernelBackends: backendSet(),
+			KernelDefault:  kernels.Active().String(),
+			Note:           *note,
+		},
+		Benchmarks: entries,
+	}
+	buf, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchrecord: wrote %d results to %s\n", len(entries), *out)
+}
+
+func backendSet() string {
+	var names []string
+	for _, b := range kernels.Supported() {
+		names = append(names, b.String())
+	}
+	return "{" + strings.Join(names, ", ") + "}"
+}
+
+// parseBenchLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkEngineBFS/backend_avx2/mode_pull/workers_1-8   2149   561054 ns/op   81.06 MB/s
+//
+// The trailing -N on the name is the GOMAXPROCS suffix, stripped because the
+// environment block records it once.
+func parseBenchLine(line string) (benchEntry, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return benchEntry{}, false
+	}
+	name := f[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	e := benchEntry{Name: name}
+	ok := false
+	for i := 2; i < len(f); i++ {
+		v, err := strconv.ParseFloat(f[i-1], 64)
+		if err != nil {
+			continue
+		}
+		switch f[i] {
+		case "ns/op":
+			e.NsPerOp, ok = v, true
+		case "MB/s":
+			e.MBPerS = v
+		}
+	}
+	return e, ok
+}
+
+// cpuModel reads the CPU model string from /proc/cpuinfo, falling back to the
+// architecture name where the file or field is absent (non-Linux, arm64).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOARCH
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if k, v, found := strings.Cut(line, ":"); found {
+			switch strings.TrimSpace(k) {
+			case "model name", "Model", "cpu model":
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return runtime.GOARCH
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchrecord:", err)
+	os.Exit(1)
+}

@@ -7,14 +7,21 @@ import (
 	"graphmat"
 	"graphmat/algorithms"
 	"graphmat/internal/gen"
+	"graphmat/internal/kernels"
 )
 
-// Engine-side benchmarks: the kernel mode × worker matrix for one traversal
-// workload (BFS) and one dense iterative workload (PageRank). These are the
-// BENCH_engine.json baseline — the ingestion benchmarks (BENCH_ingest.json)
-// cover the load path; these cover the superstep loop. Dataset size follows
-// GRAPHMAT_BENCH_SHIFT like the figure benchmarks (default -3 → RMAT
-// scale 11).
+// Engine-side benchmarks: the kernel backend × mode × worker matrix for one
+// traversal workload (BFS) and one dense iterative workload (PageRank). These
+// are the BENCH_engine.json baseline — the ingestion benchmarks
+// (BENCH_ingest.json) cover the load path; these cover the superstep loop.
+// Dataset size follows GRAPHMAT_BENCH_SHIFT like the figure benchmarks
+// (default -3 → RMAT scale 11).
+//
+// The backend dimension sweeps every SIMD backend the CPU supports plus the
+// scalar reference (kernels.Supported()), so one `make bench-engine` run
+// records the per-backend end-to-end numbers. PageRank carries the SumFoldF64
+// marker and exercises the ScatterAddF64 fold fast path; BFS is a generic
+// min-fold and isolates the frontier word-op and scan dispatch.
 
 // engineBenchScale is the RMAT scale at the configured shift.
 func engineBenchScale() int { return 14 + benchShift() }
@@ -24,6 +31,21 @@ func engineModes() []graphmat.Mode {
 }
 
 var engineWorkers = []int{1, 4, 8}
+
+// benchBackends runs body once per supported kernel backend under a
+// "backend_<name>" sub-benchmark with that backend forced.
+func benchBackends(b *testing.B, body func(b *testing.B)) {
+	for _, backend := range kernels.Supported() {
+		b.Run("backend_"+backend.String(), func(b *testing.B) {
+			restore, ok := kernels.ForceBackend(backend)
+			if !ok {
+				b.Fatalf("backend %s reported supported but ForceBackend refused it", backend)
+			}
+			defer restore()
+			body(b)
+		})
+	}
+}
 
 func BenchmarkEngineBFS(b *testing.B) {
 	scale := engineBenchScale()
@@ -40,18 +62,20 @@ func BenchmarkEngineBFS(b *testing.B) {
 		}
 	}
 	ws := graphmat.NewWorkspace[uint32, uint32](int(g.NumVertices()), graphmat.Bitvector)
-	for _, mode := range engineModes() {
-		for _, workers := range engineWorkers {
-			b.Run(fmt.Sprintf("mode_%s/workers_%d", mode, workers), func(b *testing.B) {
-				b.SetBytes(g.NumEdges()) // edges traversed per op, for MB/s-style throughput
-				for i := 0; i < b.N; i++ {
-					if _, _, err := algorithms.BFSWithWorkspace(g, root, graphmat.Config{Threads: workers, Mode: mode}, ws); err != nil {
-						b.Fatal(err)
+	benchBackends(b, func(b *testing.B) {
+		for _, mode := range engineModes() {
+			for _, workers := range engineWorkers {
+				b.Run(fmt.Sprintf("mode_%s/workers_%d", mode, workers), func(b *testing.B) {
+					b.SetBytes(g.NumEdges()) // edges traversed per op, for MB/s-style throughput
+					for i := 0; i < b.N; i++ {
+						if _, _, err := algorithms.BFSWithWorkspace(g, root, graphmat.Config{Threads: workers, Mode: mode}, ws); err != nil {
+							b.Fatal(err)
+						}
 					}
-				}
-			})
+				})
+			}
 		}
-	}
+	})
 }
 
 func BenchmarkEnginePageRank(b *testing.B) {
@@ -62,19 +86,21 @@ func BenchmarkEnginePageRank(b *testing.B) {
 		b.Fatal(err)
 	}
 	ws := graphmat.NewWorkspace[float64, float64](int(g.NumVertices()), graphmat.Bitvector)
-	for _, mode := range engineModes() {
-		for _, workers := range engineWorkers {
-			b.Run(fmt.Sprintf("mode_%s/workers_%d", mode, workers), func(b *testing.B) {
-				opt := algorithms.PageRankOptions{
-					MaxIterations: 10,
-					Config:        graphmat.Config{Threads: workers, Mode: mode},
-				}
-				for i := 0; i < b.N; i++ {
-					if _, _, err := algorithms.PageRankWithWorkspace(g, opt, ws); err != nil {
-						b.Fatal(err)
+	benchBackends(b, func(b *testing.B) {
+		for _, mode := range engineModes() {
+			for _, workers := range engineWorkers {
+				b.Run(fmt.Sprintf("mode_%s/workers_%d", mode, workers), func(b *testing.B) {
+					opt := algorithms.PageRankOptions{
+						MaxIterations: 10,
+						Config:        graphmat.Config{Threads: workers, Mode: mode},
 					}
-				}
-			})
+					for i := 0; i < b.N; i++ {
+						if _, _, err := algorithms.PageRankWithWorkspace(g, opt, ws); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
 		}
-	}
+	})
 }

@@ -56,6 +56,12 @@ type Program[V, E, M, R any] = core.Program[V, E, M, R]
 // random memory stream from the SpMV inner loop. See core.DstIndependent.
 type DstIndependent = core.DstIndependent
 
+// SumFoldF64 is the optional marker for programs whose fold is the
+// (+, passthrough) monoid over float64 (PageRank-shaped folds); implementing
+// it routes the SpMV/SpMM column folds through the arch-dispatched SIMD
+// kernel backends. See core.SumFoldF64.
+type SumFoldF64 = core.SumFoldF64
+
 // Graph is a directed property graph with vertex properties V and edge
 // values E.
 type Graph[V, E any] = graph.Graph[V, E]

@@ -11,6 +11,8 @@ package bitvec
 import (
 	"math/bits"
 	"sync/atomic"
+
+	"graphmat/internal/kernels"
 )
 
 const (
@@ -76,23 +78,17 @@ func (v *Vector) Reset() {
 	clear(v.words)
 }
 
-// Count returns the number of set bits.
+// Count returns the number of set bits. It is a whole-word popcount sweep
+// through the kernels backend — the cheap frontier-size tally the engine's
+// cost model reads once per phase instead of maintaining per-Set counters in
+// the hot loops.
 func (v *Vector) Count() int {
-	c := 0
-	for _, w := range v.words {
-		c += bits.OnesCount64(w)
-	}
-	return c
+	return kernels.PopcountSum(v.words)
 }
 
 // Any reports whether at least one bit is set.
 func (v *Vector) Any() bool {
-	for _, w := range v.words {
-		if w != 0 {
-			return true
-		}
-	}
-	return false
+	return kernels.FirstNonzero(v.words) >= 0
 }
 
 // Iterate calls fn for each set bit in ascending order.
@@ -130,23 +126,22 @@ func (v *Vector) IterateRange(lo, hi uint32, fn func(i uint32)) {
 }
 
 // NextSet returns the index of the first set bit >= i, and ok=false if there
-// is none.
+// is none. The partial first word is checked inline; the remaining whole
+// words go through the kernels nonzero-word scan.
 func (v *Vector) NextSet(i uint32) (uint32, bool) {
 	if int(i) >= v.n {
 		return 0, false
 	}
 	wi := int(i >> wordShift)
-	w := v.words[wi] & (^uint64(0) << (i & wordMask))
-	for {
-		if w != 0 {
-			return uint32(wi)<<wordShift + uint32(bits.TrailingZeros64(w)), true
-		}
-		wi++
-		if wi >= len(v.words) {
-			return 0, false
-		}
-		w = v.words[wi]
+	if w := v.words[wi] & (^uint64(0) << (i & wordMask)); w != 0 {
+		return uint32(wi)<<wordShift + uint32(bits.TrailingZeros64(w)), true
 	}
+	rest := kernels.FirstNonzero(v.words[wi+1:])
+	if rest < 0 {
+		return 0, false
+	}
+	wi += 1 + rest
+	return uint32(wi)<<wordShift + uint32(bits.TrailingZeros64(v.words[wi])), true
 }
 
 // CopyFrom copies the contents of src into v. The vectors must have the same
@@ -157,9 +152,18 @@ func (v *Vector) CopyFrom(src *Vector) {
 
 // Or sets v to the bitwise OR of v and other. Lengths must match.
 func (v *Vector) Or(other *Vector) {
-	for i := range v.words {
-		v.words[i] |= other.words[i]
-	}
+	kernels.OrInto(v.words, other.words)
+}
+
+// And sets v to the bitwise AND of a and b. All three must have equal length.
+func (v *Vector) And(a, b *Vector) {
+	kernels.And(v.words, a.words, b.words)
+}
+
+// AndNot sets v to a AND NOT b (the bits of a not in b). All three must have
+// equal length.
+func (v *Vector) AndNot(a, b *Vector) {
+	kernels.AndNot(v.words, a.words, b.words)
 }
 
 // CountRange returns the number of set bits i with lo <= i < hi.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"graphmat/internal/bitvec"
 )
@@ -88,6 +89,20 @@ func (b *BlockVector[T]) Row(v uint32) []T {
 
 // Summary exposes the vertex-level occupancy bitvector (read-only use).
 func (b *BlockVector[T]) Summary() *bitvec.Vector { return b.summary }
+
+// Occupancy returns the number of live vertices (distinct senders) and live
+// (vertex, column) entries — popcounts of the occupancy masks, read once per
+// phase by the engine instead of tallying counters per Set in the send loop.
+func (b *BlockVector[T]) Occupancy() (vertices, entries int) {
+	for wi, w := range b.summary.Words() {
+		base := uint32(wi) << 6
+		for ; w != 0; w &= w - 1 {
+			vertices++
+			entries += bits.OnesCount64(b.cols[base+uint32(bits.TrailingZeros64(w))])
+		}
+	}
+	return vertices, entries
+}
 
 // BlockWorkspace is the block engine's reusable scratch: the n×k message
 // block and the n×k reduction block — the multi-source analogue of Workspace.

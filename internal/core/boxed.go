@@ -234,23 +234,19 @@ func runBoxed[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 		if x != nil {
 			x.Reset()
 			parallelFor(cfg.Threads, nchunks, cfg.Schedule, stop, func(c, w int) {
-				st := &locals[w]
 				active.IterateRange(chunks[c], chunks[c+1], func(v uint32) {
 					if m, ok := bp.send(v); ok {
 						x.Set(v, m)
-						st.sent++
 					}
 				})
 			})
 		} else {
 			xs.Reset()
 			parallelFor(cfg.Threads, nchunks, cfg.Schedule, stop, func(c, w int) {
-				st := &locals[w]
 				var run []sparse.Entry[any]
 				active.IterateRange(chunks[c], chunks[c+1], func(v uint32) {
 					if m, ok := bp.send(v); ok {
 						run = append(run, sparse.Entry[any]{Idx: v, Val: m})
-						st.sent++
 					}
 				})
 				sortedRuns[c] = run
@@ -262,7 +258,14 @@ func runBoxed[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 				sortedRuns[c] = nil
 			}
 		}
-		sent, _, _, _ := stats.absorb(locals)
+		var sent int64
+		if x != nil {
+			sent = int64(x.NNZ())
+		} else {
+			sent = int64(xs.NNZ())
+		}
+		stats.MessagesSent += sent
+		stats.absorb(locals)
 		var applies, nactive int64
 		if sent > 0 {
 			// The boxed (naive) path predates the kernel layer's push mode:
@@ -295,11 +298,11 @@ func runBoxed[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 					st.applies++
 					if bp.apply(r, v) {
 						active.Set(v)
-						st.active++
 					}
 				})
 			})
-			_, applies, nactive, _ = stats.absorb(locals)
+			applies, _ = stats.absorb(locals)
+			nactive = int64(active.Count())
 		}
 		if r, ok := ctrl.stopped(); ok {
 			stats.Reason = r

@@ -27,37 +27,32 @@ func Run[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, cfg C
 }
 
 // localStats is one worker's tally, padded to a cache line so workers never
-// share one.
+// share one. Frontier-size counts (messages sent, distinct senders, next
+// actives) are NOT tallied here: the occupancy masks already hold them, so
+// the engines read them after each phase with one popcount word sweep
+// (bitvec.Count through the kernels backend) instead of bumping a counter
+// per Set in the hot loops.
 type localStats struct {
-	sent    int64
 	edges   int64
 	probes  int64
 	applies int64
-	active  int64
 	// degSum accumulates the traversal-structure degrees of the vertices
 	// that sent a message — the frontier's edge work, the numerator of the
 	// Auto push/pull decision. Only tallied when the run is in Auto mode.
 	degSum int64
-	// senders counts distinct sending VERTICES (not (vertex, source) pairs) —
-	// the push kernels' per-partition probe bill. Tallied only by the block
-	// engine; the scalar engine's senders equal its sent count.
-	senders int64
-	_       [8]byte
+	_      [32]byte
 }
 
-func (s *Stats) absorb(locals []localStats) (sent, applies, active, degSum int64) {
+func (s *Stats) absorb(locals []localStats) (applies, degSum int64) {
 	for i := range locals {
-		s.MessagesSent += locals[i].sent
 		s.EdgesProcessed += locals[i].edges
 		s.ColumnsProbed += locals[i].probes
 		s.Applies += locals[i].applies
-		sent += locals[i].sent
 		applies += locals[i].applies
-		active += locals[i].active
 		degSum += locals[i].degSum
 		locals[i] = localStats{}
 	}
-	return sent, applies, active, degSum
+	return applies, degSum
 }
 
 // chunkBounds splits [0, n) into at most k contiguous chunks whose interior
@@ -214,7 +209,6 @@ func runTyped[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 				active.IterateRange(chunks[c], chunks[c+1], func(v uint32) {
 					if m, ok := p.SendMessage(v, props[v]); ok {
 						x.Set(v, m)
-						st.sent++
 						if autoDegs != nil {
 							st.degSum += int64(autoDegs[v])
 						}
@@ -229,7 +223,6 @@ func runTyped[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 				active.IterateRange(chunks[c], chunks[c+1], func(v uint32) {
 					if m, ok := p.SendMessage(v, props[v]); ok {
 						run = append(run, sparse.Entry[M]{Idx: v, Val: m})
-						st.sent++
 						if autoDegs != nil {
 							st.degSum += int64(autoDegs[v])
 						}
@@ -244,7 +237,17 @@ func runTyped[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 				sortedRuns[c] = nil
 			}
 		}
-		sent, _, _, degSum := stats.absorb(locals)
+		// The frontier sizes come off the occupancy masks, not per-Set
+		// counters: one popcount sweep per phase feeds the cost model and
+		// the stats.
+		var sent int64
+		if x != nil {
+			sent = int64(x.NNZ())
+		} else {
+			sent = int64(xs.NNZ())
+		}
+		stats.MessagesSent += sent
+		_, degSum := stats.absorb(locals)
 
 		// Per-superstep direction optimization: resolve Auto from the
 		// frontier's size and edge work against the structure-side costs.
@@ -312,11 +315,11 @@ func runTyped[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 					st.applies++
 					if p.Apply(r, v, &props[v]) {
 						active.Set(v)
-						st.active++
 					}
 				})
 			})
-			_, applies, nactive, _ = stats.absorb(locals)
+			applies, _ = stats.absorb(locals)
+			nactive = int64(active.Count())
 		}
 		if r, ok := ctrl.stopped(); ok {
 			stats.Reason = r

@@ -145,31 +145,24 @@ func runBlock[V, E, M, R any, P BlockProgram[V, E, M, R]](
 			st := &locals[w]
 			active.IterateRange(chunks[c], chunks[c+1], func(v uint32) {
 				am := actCols[v]
-				sentAny := false
 				for m := am; m != 0; m &= m - 1 {
 					s := bits.TrailingZeros64(m)
 					if msg, ok := p.SendMessage(v, props[int(v)*k+s]); ok {
 						x.Set(v, s, msg)
-						st.sent++
-						sentAny = true
 						if autoDegs != nil {
 							st.degSum += int64(autoDegs[v])
 						}
 					}
 				}
-				if sentAny {
-					st.senders++
-				}
 			})
 		})
-		var sent, degSum, senders int64
-		for i := range locals {
-			stats.MessagesSent += locals[i].sent
-			sent += locals[i].sent
-			degSum += locals[i].degSum
-			senders += locals[i].senders
-			locals[i] = localStats{}
-		}
+		// Frontier sizes come off the message block's occupancy masks after
+		// the phase — a popcount sweep instead of per-Set counters and a
+		// per-vertex sentAny branch in the send loop.
+		sendersN, sentN := x.Occupancy()
+		sent, senders := int64(sentN), int64(sendersN)
+		stats.MessagesSent += sent
+		_, degSum := stats.absorb(locals)
 
 		// The push probe bill scales with distinct sender vertices, not
 		// (vertex, column) pairs — one AUX lookup serves all columns.
@@ -235,11 +228,11 @@ func runBlock[V, E, M, R any, P BlockProgram[V, E, M, R]](
 					if am != 0 {
 						active.Words()[v>>6] |= uint64(1) << (v & 63)
 						actCols[v] = am
-						st.active++
 					}
 				})
 			})
-			_, applies, nactive, _ = stats.absorb(locals)
+			applies, _ = stats.absorb(locals)
+			nactive = int64(active.Count())
 		}
 		if r, ok := ctrl.stopped(); ok {
 			stats.Reason = r

@@ -3,6 +3,7 @@ package core
 import (
 	"math/bits"
 
+	"graphmat/internal/kernels"
 	"graphmat/internal/sparse"
 )
 
@@ -45,6 +46,21 @@ func spmvPullBitvec[V, E, M, R any, P Program[V, E, M, R]](
 	_, dstFree := any(p).(DstIndependent)
 	var zeroV V
 	edges := int64(0)
+	if sf := sumFoldScalarView(p, x, y); sf.ok {
+		// (+, passthrough) float64 programs take the fused column fold: the
+		// whole per-edge loop is one arch-dispatched scatter-add per column.
+		for ci, j := range jc {
+			if xw[j>>6]&(1<<(j&63)) == 0 {
+				continue
+			}
+			lo, hi := cp[ci], cp[ci+1]
+			edges += int64(hi - lo)
+			kernels.ScatterAddF64(yw, sf.y, ir[lo:hi], sf.x[j])
+		}
+		st.probes += int64(len(jc))
+		st.edges += edges
+		return
+	}
 	for ci, j := range jc {
 		if xw[j>>6]&(1<<(j&63)) == 0 {
 			continue
@@ -121,6 +137,7 @@ func spmvPushBitvec[V, E, M, R any, P Program[V, E, M, R]](
 	yw := y.Mask().Words()
 	yvals := y.Values()
 	_, dstFree := any(p).(DstIndependent)
+	sf := sumFoldScalarView(p, x, y)
 	var zeroV V
 	probes, edges := int64(0), int64(0)
 	// Only frontier words overlapping the partition's stored column range
@@ -132,6 +149,16 @@ func spmvPushBitvec[V, E, M, R any, P Program[V, E, M, R]](
 	}
 	for wi := loW; wi < hiW; wi++ {
 		w := xw[wi]
+		if w == 0 {
+			// Vectorized scan to the next frontier word: sparse frontiers
+			// spread over a wide id range skip the zero run in one sweep.
+			skip := kernels.FirstNonzero(xw[wi:hiW])
+			if skip < 0 {
+				break
+			}
+			wi += skip
+			w = xw[wi]
+		}
 		base := uint32(wi) << 6
 		for w != 0 {
 			j := base + uint32(bits.TrailingZeros64(w))
@@ -155,6 +182,10 @@ func spmvPushBitvec[V, E, M, R any, P Program[V, E, M, R]](
 			edges += int64(hi - lo)
 			irc := ir[lo:hi]
 			vc := vals[lo:hi:hi]
+			if sf.ok {
+				kernels.ScatterAddF64(yw, sf.y, irc, sf.x[j])
+				continue
+			}
 			if dstFree {
 				for k, dst := range irc {
 					r := p.ProcessMessage(m, vc[k], zeroV)

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"math"
 	"math/bits"
 
+	"graphmat/internal/kernels"
 	"graphmat/internal/sparse"
 )
 
@@ -79,6 +81,7 @@ func spmmPullBitvec[V, E, M, R any, P BlockProgram[V, E, M, R]](
 	xcols, xvals := x.cols, x.vals
 	ysw := y.summary.Words()
 	ycols, yvals := y.cols, y.vals
+	xf, yf, sumOK := sumFoldBlockView(p, x, y)
 	edges := int64(0)
 	for ci, j := range jc {
 		if xw[j>>6]&(1<<(j&63)) == 0 {
@@ -88,9 +91,13 @@ func spmmPullBitvec[V, E, M, R any, P BlockProgram[V, E, M, R]](
 		if cm == 0 {
 			continue
 		}
-		xrow := xvals[int(j)*k : int(j)*k+k]
 		lo, hi := cp[ci], cp[ci+1]
 		edges += int64(hi-lo) * int64(bits.OnesCount64(cm))
+		if sumOK {
+			foldBlockColumnSumF64(k, cm, xf[int(j)*k:int(j)*k+k], ir[lo:hi], ysw, ycols, yf)
+			continue
+		}
+		xrow := xvals[int(j)*k : int(j)*k+k]
 		foldBlockColumn(p, k, cm, xrow, ir[lo:hi], vals[lo:hi:hi], ysw, ycols, yvals)
 	}
 	st.probes += int64(len(jc))
@@ -116,6 +123,7 @@ func spmmPushBitvec[V, E, M, R any, P BlockProgram[V, E, M, R]](
 	xcols, xvals := x.cols, x.vals
 	ysw := y.summary.Words()
 	ycols, yvals := y.cols, y.vals
+	xf, yf, sumOK := sumFoldBlockView(p, x, y)
 	probes, edges := int64(0), int64(0)
 	loW := int(jc[0] >> 6)
 	hiW := int(jc[len(jc)-1]>>6) + 1
@@ -124,6 +132,14 @@ func spmmPushBitvec[V, E, M, R any, P BlockProgram[V, E, M, R]](
 	}
 	for wi := loW; wi < hiW; wi++ {
 		w := xw[wi]
+		if w == 0 {
+			skip := kernels.FirstNonzero(xw[wi:hiW])
+			if skip < 0 {
+				break
+			}
+			wi += skip
+			w = xw[wi]
+		}
 		base := uint32(wi) << 6
 		for w != 0 {
 			j := base + uint32(bits.TrailingZeros64(w))
@@ -137,9 +153,13 @@ func spmmPushBitvec[V, E, M, R any, P BlockProgram[V, E, M, R]](
 			if !ok {
 				continue
 			}
-			xrow := xvals[int(j)*k : int(j)*k+k]
 			lo, hi := cp[ci], cp[ci+1]
 			edges += int64(hi-lo) * int64(bits.OnesCount64(cm))
+			if sumOK {
+				foldBlockColumnSumF64(k, cm, xf[int(j)*k:int(j)*k+k], ir[lo:hi], ysw, ycols, yf)
+				continue
+			}
+			xrow := xvals[int(j)*k : int(j)*k+k]
 			foldBlockColumn(p, k, cm, xrow, ir[lo:hi], vals[lo:hi:hi], ysw, ycols, yvals)
 		}
 	}
@@ -164,39 +184,49 @@ func spmmPullLayered[V, E, M, R any, P BlockProgram[V, E, M, R]](
 	xcols, xvals := x.cols, x.vals
 	ysw := y.summary.Words()
 	ycols, yvals := y.cols, y.vals
+	xf, yf, sumOK := sumFoldBlockView(p, x, y)
 	probes, edges := int64(0), int64(0)
-	bi, di := 0, 0
-	for bi < len(bjc) || di < len(djc) {
-		var j uint32
-		var irc []uint32
-		var vc []E
-		if di >= len(djc) || (bi < len(bjc) && bjc[bi] < djc[di]) {
-			j = bjc[bi]
-			lo, hi := base.CP[bi], base.CP[bi+1]
-			irc, vc = base.IR[lo:hi], base.Val[lo:hi:hi]
-			bi++
-		} else {
-			j = djc[di]
-			if bi < len(bjc) && bjc[bi] == j {
-				bi++ // base column overridden
-			}
-			lo, hi := delta.CP[di], delta.CP[di+1]
-			di++
-			if lo == hi {
-				continue // tombstone
-			}
-			irc, vc = delta.IR[lo:hi], delta.Val[lo:hi:hi]
-		}
+	// Run-based merge, like spmvPullBitvecLayered: one SpanLess scan takes
+	// the whole run of base columns below the next delta column.
+	foldLive := func(j uint32, irc []uint32, vc []E) {
 		probes++
 		if xw[j>>6]&(1<<(j&63)) == 0 {
-			continue
+			return
 		}
 		cm := xcols[j]
 		if cm == 0 {
-			continue
+			return
 		}
 		edges += int64(len(irc)) * int64(bits.OnesCount64(cm))
+		if sumOK {
+			foldBlockColumnSumF64(k, cm, xf[int(j)*k:int(j)*k+k], irc, ysw, ycols, yf)
+			return
+		}
 		foldBlockColumn(p, k, cm, xvals[int(j)*k:int(j)*k+k], irc, vc, ysw, ycols, yvals)
+	}
+	bi, di := 0, 0
+	for bi < len(bjc) || di < len(djc) {
+		next := uint32(math.MaxUint32)
+		if di < len(djc) {
+			next = djc[di]
+		}
+		for end := bi + kernels.SpanLess(bjc[bi:], next); bi < end; bi++ {
+			lo, hi := base.CP[bi], base.CP[bi+1]
+			foldLive(bjc[bi], base.IR[lo:hi], base.Val[lo:hi:hi])
+		}
+		if di >= len(djc) {
+			break
+		}
+		j := next
+		if bi < len(bjc) && bjc[bi] == j {
+			bi++ // base column overridden
+		}
+		lo, hi := delta.CP[di], delta.CP[di+1]
+		di++
+		if lo == hi {
+			continue // tombstone
+		}
+		foldLive(j, delta.IR[lo:hi], delta.Val[lo:hi:hi])
 	}
 	st.probes += probes
 	st.edges += edges
@@ -220,6 +250,7 @@ func spmmPushLayered[V, E, M, R any, P BlockProgram[V, E, M, R]](
 	xcols, xvals := x.cols, x.vals
 	ysw := y.summary.Words()
 	ycols, yvals := y.cols, y.vals
+	xf, yf, sumOK := sumFoldBlockView(p, x, y)
 	probes, edges := int64(0), int64(0)
 	loCol, hiCol := ^uint32(0), uint32(0)
 	if len(base.JC) > 0 {
@@ -236,6 +267,14 @@ func spmmPushLayered[V, E, M, R any, P BlockProgram[V, E, M, R]](
 	}
 	for wi := loW; wi < hiW; wi++ {
 		w := xw[wi]
+		if w == 0 {
+			skip := kernels.FirstNonzero(xw[wi:hiW])
+			if skip < 0 {
+				break
+			}
+			wi += skip
+			w = xw[wi]
+		}
 		base32 := uint32(wi) << 6
 		for w != 0 {
 			j := base32 + uint32(bits.TrailingZeros64(w))
@@ -250,6 +289,10 @@ func spmmPushLayered[V, E, M, R any, P BlockProgram[V, E, M, R]](
 				continue
 			}
 			edges += int64(len(irc)) * int64(bits.OnesCount64(cm))
+			if sumOK {
+				foldBlockColumnSumF64(k, cm, xf[int(j)*k:int(j)*k+k], irc, ysw, ycols, yf)
+				continue
+			}
 			foldBlockColumn(p, k, cm, xvals[int(j)*k:int(j)*k+k], irc, vc, ysw, ycols, yvals)
 		}
 	}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"graphmat/internal/kernels"
+	"graphmat/internal/sparse"
+)
+
+// This file is the seam between the generic kernels and the arch-dispatched
+// fold primitives in internal/kernels: the SumFoldF64 declaration and the
+// helpers that resolve a program to the fused float64 fold when it qualifies.
+
+// SumFoldF64 is an optional marker for programs whose fold is the
+// (+, passthrough) monoid over float64: ProcessMessage (and Mul, for block
+// programs) returns the message unchanged — bit-for-bit, for every edge value
+// and destination — and Reduce (and Add) is float64 addition. PageRank, PPR
+// and HITS are this shape: the per-edge work is pure gather-and-accumulate.
+//
+// Declaring it lets the kernels replace the per-edge callback loop with the
+// kernels backend's fused primitives — ScatterAddF64 for the scalar SpMV
+// column fold, BlockAddF64 for the SpMM's k-wide masked lane add — which is
+// where the AVX2/NEON backends earn their keep on the dense-frontier
+// algorithms. The declaration is a promise, like DstIndependent: the fused
+// fold must be indistinguishable from the generic loop. The differential
+// suites enforce it (fused vs generic, and every SIMD backend vs the scalar
+// oracle, all bit-identical).
+//
+// One boundary inherited from the branchless SIMD variants: messages must
+// never be signaling NaNs. Engine messages are arithmetic results, which are
+// never signaling, so this excludes nothing in practice.
+type SumFoldF64 interface {
+	ReducesBySumF64()
+}
+
+// sumFoldF64 is the resolved fast-path view of a scalar-engine kernel call:
+// ok only when the program declares SumFoldF64 AND both vector element types
+// really are float64.
+type sumFoldF64 struct {
+	ok   bool
+	x, y []float64
+}
+
+func sumFoldScalarView[V, E, M, R any, P Program[V, E, M, R]](
+	p P, x *sparse.Vector[M], y *sparse.Vector[R],
+) (sf sumFoldF64) {
+	if _, ok := any(p).(SumFoldF64); !ok {
+		return sf
+	}
+	xv, okX := any(x.Values()).([]float64)
+	yv, okY := any(y.Values()).([]float64)
+	if !okX || !okY {
+		return sf
+	}
+	return sumFoldF64{ok: true, x: xv, y: yv}
+}
+
+// sumFoldBlockView is the block-engine analogue: the raw n×k value arrays of
+// the message and reduction blocks when the program qualifies.
+func sumFoldBlockView[V, E, M, R any, P BlockProgram[V, E, M, R]](
+	p P, x *BlockVector[M], y *BlockVector[R],
+) (xvals, yvals []float64, ok bool) {
+	if _, mk := any(p).(SumFoldF64); !mk {
+		return nil, nil, false
+	}
+	xv, okX := any(x.vals).([]float64)
+	yv, okY := any(y.vals).([]float64)
+	if !okX || !okY {
+		return nil, nil, false
+	}
+	return xv, yv, true
+}
+
+// foldBlockColumnSumF64 is foldBlockColumn for (+, passthrough) float64
+// programs: per edge, one masked k-lane add through the kernels backend
+// instead of a per-source Mul/Add loop. Identical fold semantics — lanes are
+// independent and first writes store the raw message, exactly like the
+// generic loop.
+func foldBlockColumnSumF64(
+	k int, cm uint64, xrow []float64, irc []uint32,
+	ysw []uint64, ycols []uint64, yvals []float64,
+) {
+	for _, dst := range irc {
+		w := &ysw[dst>>6]
+		bit := uint64(1) << (dst & 63)
+		if *w&bit == 0 {
+			*w |= bit
+			ycols[dst] = 0
+		}
+		kernels.BlockAddF64(yvals[int(dst)*k:int(dst)*k+k], xrow, cm, ycols[dst])
+		ycols[dst] |= cm
+	}
+}

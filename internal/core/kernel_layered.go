@@ -1,8 +1,10 @@
 package core
 
 import (
+	"math"
 	"math/bits"
 
+	"graphmat/internal/kernels"
 	"graphmat/internal/sparse"
 )
 
@@ -78,9 +80,14 @@ func liveColumn[E any](base, delta *sparse.DCSC[E], j uint32) (irc []uint32, vc 
 	return nil, nil, false
 }
 
-// spmvPullBitvecLayered is the pull kernel over an overlay: a two-pointer
-// merge of the base and delta column lists, probing the frontier bitvector
-// per live column.
+// spmvPullBitvecLayered is the pull kernel over an overlay: a run-based merge
+// of the base and delta column lists, probing the frontier bitvector per live
+// column. Instead of a per-column two-pointer compare, each merge step takes
+// the whole run of base columns below the next delta column in one
+// arch-dispatched SpanLess scan, then the delta column itself. Column visit
+// order — and therefore the fold order and the probes/edges tallies — is
+// identical to the two-pointer walk. Vertex ids top out at 2³²−2 (the graph
+// caps vertices at 2³²−1), so MaxUint32 is a safe "no more deltas" sentinel.
 func spmvPullBitvecLayered[V, E, M, R any, P Program[V, E, M, R]](
 	l sparse.Layered[E],
 	x *sparse.Vector[M],
@@ -96,35 +103,50 @@ func spmvPullBitvecLayered[V, E, M, R any, P Program[V, E, M, R]](
 	yw := y.Mask().Words()
 	yvals := y.Values()
 	_, dstFree := any(p).(DstIndependent)
+	sf := sumFoldScalarView(p, x, y)
 	probes, edges := int64(0), int64(0)
 	bi, di := 0, 0
 	for bi < len(bjc) || di < len(djc) {
-		var j uint32
-		var irc []uint32
-		var vc []E
-		if di >= len(djc) || (bi < len(bjc) && bjc[bi] < djc[di]) {
-			j = bjc[bi]
+		next := uint32(math.MaxUint32)
+		if di < len(djc) {
+			next = djc[di]
+		}
+		for end := bi + kernels.SpanLess(bjc[bi:], next); bi < end; bi++ {
+			j := bjc[bi]
+			probes++
+			if xw[j>>6]&(1<<(j&63)) == 0 {
+				continue
+			}
 			lo, hi := base.CP[bi], base.CP[bi+1]
-			irc, vc = base.IR[lo:hi], base.Val[lo:hi:hi]
-			bi++
-		} else {
-			j = djc[di]
-			if bi < len(bjc) && bjc[bi] == j {
-				bi++ // base column overridden
+			edges += int64(hi - lo)
+			if sf.ok {
+				kernels.ScatterAddF64(yw, sf.y, base.IR[lo:hi], sf.x[j])
+				continue
 			}
-			lo, hi := delta.CP[di], delta.CP[di+1]
-			di++
-			if lo == hi {
-				continue // tombstone: not a live column, not a probe
-			}
-			irc, vc = delta.IR[lo:hi], delta.Val[lo:hi:hi]
+			foldColumn(p, xvals[j], base.IR[lo:hi], base.Val[lo:hi:hi], props, yw, yvals, dstFree)
+		}
+		if di >= len(djc) {
+			break
+		}
+		j := next
+		if bi < len(bjc) && bjc[bi] == j {
+			bi++ // base column overridden
+		}
+		lo, hi := delta.CP[di], delta.CP[di+1]
+		di++
+		if lo == hi {
+			continue // tombstone: not a live column, not a probe
 		}
 		probes++
 		if xw[j>>6]&(1<<(j&63)) == 0 {
 			continue
 		}
-		edges += int64(len(irc))
-		foldColumn(p, xvals[j], irc, vc, props, yw, yvals, dstFree)
+		edges += int64(hi - lo)
+		if sf.ok {
+			kernels.ScatterAddF64(yw, sf.y, delta.IR[lo:hi], sf.x[j])
+			continue
+		}
+		foldColumn(p, xvals[j], delta.IR[lo:hi], delta.Val[lo:hi:hi], props, yw, yvals, dstFree)
 	}
 	st.probes += probes
 	st.edges += edges
@@ -150,6 +172,7 @@ func spmvPushBitvecLayered[V, E, M, R any, P Program[V, E, M, R]](
 	yw := y.Mask().Words()
 	yvals := y.Values()
 	_, dstFree := any(p).(DstIndependent)
+	sf := sumFoldScalarView(p, x, y)
 	probes, edges := int64(0), int64(0)
 	// Only frontier words overlapping either layer's stored column range can
 	// match.
@@ -168,6 +191,14 @@ func spmvPushBitvecLayered[V, E, M, R any, P Program[V, E, M, R]](
 	}
 	for wi := loW; wi < hiW; wi++ {
 		w := xw[wi]
+		if w == 0 {
+			skip := kernels.FirstNonzero(xw[wi:hiW])
+			if skip < 0 {
+				break
+			}
+			wi += skip
+			w = xw[wi]
+		}
 		base32 := uint32(wi) << 6
 		for w != 0 {
 			j := base32 + uint32(bits.TrailingZeros64(w))
@@ -178,6 +209,10 @@ func spmvPushBitvecLayered[V, E, M, R any, P Program[V, E, M, R]](
 				continue
 			}
 			edges += int64(len(irc))
+			if sf.ok {
+				kernels.ScatterAddF64(yw, sf.y, irc, sf.x[j])
+				continue
+			}
 			foldColumn(p, xvals[j], irc, vc, props, yw, yvals, dstFree)
 		}
 	}
@@ -203,32 +238,38 @@ func spmvPullSortedLayered[V, E, M, R any, P Program[V, E, M, R]](
 	probes, edges := int64(0), int64(0)
 	bi, di := 0, 0
 	for bi < len(bjc) || di < len(djc) {
-		var j uint32
-		var irc []uint32
-		var vc []E
-		if di >= len(djc) || (bi < len(bjc) && bjc[bi] < djc[di]) {
-			j = bjc[bi]
-			lo, hi := base.CP[bi], base.CP[bi+1]
-			irc, vc = base.IR[lo:hi], base.Val[lo:hi:hi]
-			bi++
-		} else {
-			j = djc[di]
-			if bi < len(bjc) && bjc[bi] == j {
-				bi++
-			}
-			lo, hi := delta.CP[di], delta.CP[di+1]
-			di++
-			if lo == hi {
+		next := uint32(math.MaxUint32)
+		if di < len(djc) {
+			next = djc[di]
+		}
+		for end := bi + kernels.SpanLess(bjc[bi:], next); bi < end; bi++ {
+			j := bjc[bi]
+			probes++
+			if !xs.Has(j) {
 				continue
 			}
-			irc, vc = delta.IR[lo:hi], delta.Val[lo:hi:hi]
+			lo, hi := base.CP[bi], base.CP[bi+1]
+			edges += int64(hi - lo)
+			foldColumn(p, xs.Get(j), base.IR[lo:hi], base.Val[lo:hi:hi], props, yw, yvals, dstFree)
+		}
+		if di >= len(djc) {
+			break
+		}
+		j := next
+		if bi < len(bjc) && bjc[bi] == j {
+			bi++
+		}
+		lo, hi := delta.CP[di], delta.CP[di+1]
+		di++
+		if lo == hi {
+			continue
 		}
 		probes++
 		if !xs.Has(j) {
 			continue
 		}
-		edges += int64(len(irc))
-		foldColumn(p, xs.Get(j), irc, vc, props, yw, yvals, dstFree)
+		edges += int64(hi - lo)
+		foldColumn(p, xs.Get(j), delta.IR[lo:hi], delta.Val[lo:hi:hi], props, yw, yvals, dstFree)
 	}
 	st.probes += probes
 	st.edges += edges

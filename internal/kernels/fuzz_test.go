@@ -1,0 +1,184 @@
+package kernels
+
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+	"testing"
+)
+
+// The fuzz differentials: every SIMD backend must match the scalar oracle
+// bit for bit on arbitrary inputs, not just the structured cases the parity
+// tests enumerate. FuzzBitvecWords covers the integer word primitives,
+// FuzzDenseFold the two float64 folds. Both run as regular seed-corpus tests
+// under `go test` (the CI fuzz-smoke additionally runs them with -fuzz for a
+// bounded wall-clock slice).
+
+// fuzzWords reinterprets the fuzz byte string as little-endian words.
+func fuzzWords(data []byte) []uint64 {
+	w := make([]uint64, len(data)/8)
+	for i := range w {
+		w[i] = binary.LittleEndian.Uint64(data[i*8:])
+	}
+	return w
+}
+
+// quietNaN forces the quiet bit on NaN payloads: ScatterAddF64's contract
+// excludes signaling NaN messages (the engine only folds arithmetic results),
+// so the fuzzer must not feed one. Payload bits below the quiet bit survive,
+// keeping the input diversity.
+func quietNaN(x float64) float64 {
+	if x != x {
+		return math.Float64frombits(math.Float64bits(x) | 1<<51)
+	}
+	return x
+}
+
+// FuzzBitvecWords drives the integer primitives — AND/OR/ANDNOT/OR-into,
+// popcount sum, next-set-word scan, and the SpanLess run scan — through every
+// supported SIMD backend against the scalar reference.
+func FuzzBitvecWords(f *testing.F) {
+	f.Add([]byte{}, uint32(0))
+	f.Add([]byte{0xff, 0, 0, 0, 0, 0, 0, 0}, uint32(1))
+	long := make([]byte, 8*37+5) // odd tail exercises the remainder paths
+	for i := range long {
+		long[i] = byte(i * 131)
+	}
+	f.Add(long, uint32(0x80000000))
+	f.Fuzz(func(t *testing.T, data []byte, v uint32) {
+		a := fuzzWords(data)
+		n := len(a)
+		b := make([]uint64, n)
+		for i := range b {
+			b[i] = bits.RotateLeft64(a[i], 13) ^ 0x9E3779B97F4A7C15
+		}
+		u32 := make([]uint32, len(data)/4)
+		for i := range u32 {
+			u32[i] = binary.LittleEndian.Uint32(data[i*4:])
+		}
+
+		wantAnd, wantOr, wantAndNot, wantOrInto := make([]uint64, n), make([]uint64, n), make([]uint64, n), append([]uint64(nil), b...)
+		scalarAnd(wantAnd, a, b)
+		scalarOr(wantOr, a, b)
+		scalarAndNot(wantAndNot, a, b)
+		scalarOrInto(wantOrInto, a)
+		wantPop := scalarPopcountSum(a)
+		wantFirst := scalarFirstNonzero(a)
+		wantSpan := scalarSpanLess(u32, v)
+
+		for _, backend := range simdBackends() {
+			tab := backendTable(backend)
+			got := make([]uint64, n)
+			for _, c := range []struct {
+				name string
+				fn   func(dst, a, b []uint64)
+				want []uint64
+			}{
+				{"and", tab.and, wantAnd},
+				{"or", tab.or, wantOr},
+				{"andnot", tab.andNot, wantAndNot},
+			} {
+				c.fn(got, a, b)
+				for i := range got {
+					if got[i] != c.want[i] {
+						t.Fatalf("%s %s: word %d = %#x, scalar %#x", backend, c.name, i, got[i], c.want[i])
+					}
+				}
+			}
+			gotOrInto := append([]uint64(nil), b...)
+			tab.orInto(gotOrInto, a)
+			for i := range gotOrInto {
+				if gotOrInto[i] != wantOrInto[i] {
+					t.Fatalf("%s orinto: word %d = %#x, scalar %#x", backend, i, gotOrInto[i], wantOrInto[i])
+				}
+			}
+			if got := tab.popcountSum(a); got != wantPop {
+				t.Fatalf("%s popcount = %d, scalar %d", backend, got, wantPop)
+			}
+			if got := tab.firstNonzero(a); got != wantFirst {
+				t.Fatalf("%s firstnonzero = %d, scalar %d", backend, got, wantFirst)
+			}
+			if got := tab.spanLess(u32, v); got != wantSpan {
+				t.Fatalf("%s spanless(%d) = %d, scalar %d", backend, v, got, wantSpan)
+			}
+		}
+	})
+}
+
+// FuzzDenseFold drives the float64 folds — BlockAddF64's masked lane add and
+// ScatterAddF64's column scatter — through every supported SIMD backend
+// against the scalar reference, comparing results as raw bit patterns so NaN
+// payloads, signed zeros and infinities all count.
+func FuzzDenseFold(f *testing.F) {
+	f.Add([]byte{}, uint64(0), uint64(0), uint64(0))
+	seed := make([]byte, 8*70)
+	for i := range seed {
+		seed[i] = byte(i*37 + 11)
+	}
+	f.Add(seed, ^uint64(0), uint64(0xAAAAAAAAAAAAAAAA), math.Float64bits(1.5))
+	f.Add(seed[:64], uint64(0xF0F0), uint64(0x0F0F), math.Float64bits(math.Inf(-1)))
+	f.Fuzz(func(t *testing.T, data []byte, cm, ym, mraw uint64) {
+		raw := fuzzWords(data)
+		vals := make([]float64, len(raw))
+		for i, w := range raw {
+			vals[i] = quietNaN(math.Float64frombits(w))
+		}
+
+		// BlockAddF64: k = len(vals) capped at the block width limit; the
+		// y row starts from a lane-rotated view of the same floats.
+		k := len(vals)
+		if k > 64 {
+			k = 64
+		}
+		xrow := vals[:k]
+		yinit := make([]float64, k)
+		for i := range yinit {
+			yinit[i] = quietNaN(math.Float64frombits(bits.RotateLeft64(raw[i], 7)))
+		}
+		wantY := append([]float64(nil), yinit...)
+		scalarBlockAddF64(wantY, xrow, cm, ym)
+
+		// ScatterAddF64: a 256-slot destination, targets from the raw bytes
+		// (duplicates folded in order), occupancy seeded from ym.
+		const nDst = 256
+		m := quietNaN(math.Float64frombits(mraw))
+		idx := make([]uint32, len(data))
+		for i, bb := range data {
+			idx[i] = uint32(bb)
+		}
+		ywInit := [nDst / 64]uint64{ym, bits.RotateLeft64(ym, 1), ^ym, bits.RotateLeft64(ym, 33)}
+		yvInit := make([]float64, nDst)
+		for i := range yvInit {
+			yvInit[i] = quietNaN(math.Float64frombits(uint64(i)*0x9E3779B97F4A7C15 ^ mraw))
+		}
+		wantW := ywInit
+		wantV := append([]float64(nil), yvInit...)
+		scalarScatterAddF64(wantW[:], wantV, idx, m)
+
+		for _, backend := range simdBackends() {
+			tab := backendTable(backend)
+
+			gotY := append([]float64(nil), yinit...)
+			tab.blockAddF64(gotY, xrow, cm, ym)
+			for i := range gotY {
+				if math.Float64bits(gotY[i]) != math.Float64bits(wantY[i]) {
+					t.Fatalf("%s blockadd: lane %d = %v (%#x), scalar %v (%#x)",
+						backend, i, gotY[i], math.Float64bits(gotY[i]), wantY[i], math.Float64bits(wantY[i]))
+				}
+			}
+
+			gotW := ywInit
+			gotV := append([]float64(nil), yvInit...)
+			tab.scatterAddF64(gotW[:], gotV, idx, m)
+			if gotW != wantW {
+				t.Fatalf("%s scatteradd: mask %#x, scalar %#x", backend, gotW, wantW)
+			}
+			for i := range gotV {
+				if math.Float64bits(gotV[i]) != math.Float64bits(wantV[i]) {
+					t.Fatalf("%s scatteradd: y[%d] = %v (%#x), scalar %v (%#x)",
+						backend, i, gotV[i], math.Float64bits(gotV[i]), wantV[i], math.Float64bits(wantV[i]))
+				}
+			}
+		}
+	})
+}

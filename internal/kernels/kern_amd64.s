@@ -1,0 +1,292 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2 bodies of the kernels backend. Element counts (n) arrive pre-rounded
+// to the block size by the Go wrappers in avx2_amd64.go, which also run the
+// scalar tails, so every loop here is whole 256-bit blocks.
+
+// Nibble popcount lookup table for VPSHUFB (Mula's algorithm), duplicated
+// across both 128-bit lanes.
+DATA nibPopcnt<>+0(SB)/8, $0x0302020102010100
+DATA nibPopcnt<>+8(SB)/8, $0x0403030203020201
+DATA nibPopcnt<>+16(SB)/8, $0x0302020102010100
+DATA nibPopcnt<>+24(SB)/8, $0x0403030203020201
+GLOBL nibPopcnt<>(SB), RODATA|NOPTR, $32
+
+DATA lowNibbles<>+0(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA lowNibbles<>+8(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA lowNibbles<>+16(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA lowNibbles<>+24(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL lowNibbles<>(SB), RODATA|NOPTR, $32
+
+// Per-lane qword bits {1, 2, 4, 8}: expanding a mask nibble to four all-ones/
+// all-zero qword lanes is (broadcast(nib) AND laneBits) == laneBits.
+DATA laneBits<>+0(SB)/8, $1
+DATA laneBits<>+8(SB)/8, $2
+DATA laneBits<>+16(SB)/8, $4
+DATA laneBits<>+24(SB)/8, $8
+GLOBL laneBits<>(SB), RODATA|NOPTR, $32
+
+// Unsigned-compare sign flip for 32-bit lanes (VPCMPGTD is signed).
+DATA signFlip32<>+0(SB)/8, $0x8000000080000000
+DATA signFlip32<>+8(SB)/8, $0x8000000080000000
+DATA signFlip32<>+16(SB)/8, $0x8000000080000000
+DATA signFlip32<>+24(SB)/8, $0x8000000080000000
+GLOBL signFlip32<>(SB), RODATA|NOPTR, $32
+
+// func andBodyAVX2(dst, a, b *uint64, n int)
+TEXT ·andBodyAVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ n+24(FP), CX
+	SHRQ $2, CX
+
+andloop:
+	VMOVDQU (SI), Y0
+	VPAND   (DX), Y0, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DX
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     andloop
+	VZEROUPPER
+	RET
+
+// func orBodyAVX2(dst, a, b *uint64, n int)
+TEXT ·orBodyAVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ n+24(FP), CX
+	SHRQ $2, CX
+
+orloop:
+	VMOVDQU (SI), Y0
+	VPOR    (DX), Y0, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DX
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     orloop
+	VZEROUPPER
+	RET
+
+// func andNotBodyAVX2(dst, a, b *uint64, n int)
+// dst = a &^ b = ^b & a: VPANDN computes ^src1 & src2 with src1 the middle
+// operand in Go syntax, so b rides the middle slot.
+TEXT ·andNotBodyAVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ n+24(FP), CX
+	SHRQ $2, CX
+
+andnotloop:
+	VMOVDQU (SI), Y0
+	VMOVDQU (DX), Y1
+	VPANDN  Y0, Y1, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DX
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     andnotloop
+	VZEROUPPER
+	RET
+
+// func orIntoBodyAVX2(dst, src *uint64, n int)
+TEXT ·orIntoBodyAVX2(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	SHRQ $2, CX
+
+orintoloop:
+	VMOVDQU (DI), Y0
+	VPOR    (SI), Y0, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     orintoloop
+	VZEROUPPER
+	RET
+
+// func popcountBodyAVX2(w *uint64, n int) int
+// Mula's nibble-LUT popcount: per 32-byte block, VPSHUFB maps low and high
+// nibbles to per-byte counts, VPSADBW folds bytes to qword partials, and a
+// qword accumulator carries the running sum.
+TEXT ·popcountBodyAVX2(SB), NOSPLIT, $0-24
+	MOVQ    w+0(FP), SI
+	MOVQ    n+8(FP), CX
+	SHRQ    $2, CX
+	VMOVDQU nibPopcnt<>(SB), Y4
+	VMOVDQU lowNibbles<>(SB), Y5
+	VPXOR   Y6, Y6, Y6             // accumulator
+	VPXOR   Y7, Y7, Y7             // zero for VPSADBW
+
+popcntloop:
+	VMOVDQU (SI), Y0
+	VPAND   Y5, Y0, Y1
+	VPSRLW  $4, Y0, Y2
+	VPAND   Y5, Y2, Y2
+	VPSHUFB Y1, Y4, Y1
+	VPSHUFB Y2, Y4, Y2
+	VPADDB  Y2, Y1, Y1
+	VPSADBW Y7, Y1, Y1
+	VPADDQ  Y1, Y6, Y6
+	ADDQ    $32, SI
+	DECQ    CX
+	JNZ     popcntloop
+	VEXTRACTI128 $1, Y6, X1
+	VPADDQ  X1, X6, X6
+	MOVQ    X6, AX
+	VPEXTRQ $1, X6, BX
+	ADDQ    BX, AX
+	MOVQ    AX, ret+16(FP)
+	VZEROUPPER
+	RET
+
+// func firstNonzeroBodyAVX2(w *uint64, n int) int
+// Returns the 4-aligned block start holding the first nonzero word, or -1.
+// The Go wrapper refines to the exact word.
+TEXT ·firstNonzeroBodyAVX2(SB), NOSPLIT, $0-24
+	MOVQ w+0(FP), SI
+	MOVQ n+8(FP), CX
+	XORQ AX, AX
+
+fnzloop:
+	VMOVDQU (SI), Y0
+	VPTEST  Y0, Y0
+	JNZ     fnzfound
+	ADDQ    $32, SI
+	ADDQ    $4, AX
+	CMPQ    AX, CX
+	JL      fnzloop
+	MOVQ    $-1, AX
+
+fnzfound:
+	MOVQ AX, ret+16(FP)
+	VZEROUPPER
+	RET
+
+// func spanLessBodyAVX2(a *uint32, n int, v uint32) int
+// Counts the prefix of a[0:n] with a[i] < v (unsigned): per 8-lane block,
+// sign-flip both sides and VPCMPGTD against broadcast v; a full mask means
+// the whole block is below v, otherwise the first offending lane ends the
+// span.
+TEXT ·spanLessBodyAVX2(SB), NOSPLIT, $0-32
+	MOVQ         a+0(FP), SI
+	MOVQ         n+8(FP), CX
+	MOVL         v+16(FP), DX
+	XORL         $0x80000000, DX
+	MOVL         DX, X0
+	VPBROADCASTD X0, Y5
+	VMOVDQU      signFlip32<>(SB), Y6
+	XORQ         AX, AX
+
+spanloop:
+	VMOVDQU   (SI), Y0
+	VPXOR     Y6, Y0, Y0
+	VPCMPGTD  Y0, Y5, Y1
+	VPMOVMSKB Y1, BX
+	CMPL      BX, $0xFFFFFFFF
+	JNE       spanpartial
+	ADDQ      $32, SI
+	ADDQ      $8, AX
+	CMPQ      AX, CX
+	JL        spanloop
+	JMP       spandone
+
+spanpartial:
+	NOTL BX
+	BSFL BX, BX
+	SHRL $2, BX
+	ADDQ BX, AX
+
+spandone:
+	MOVQ AX, ret+24(FP)
+	VZEROUPPER
+	RET
+
+// func blockAddF64BodyAVX2(yrow, xrow *float64, n int, cm, ym uint64)
+// The dense (+, passthrough) block fold over four source lanes at a time:
+// lanes in cm get yold+x where ym is set and the raw x on first write; lanes
+// outside cm keep yold. Mask nibbles expand to qword lane masks via
+// (broadcast AND laneBits) == laneBits.
+TEXT ·blockAddF64BodyAVX2(SB), NOSPLIT, $0-40
+	MOVQ    yrow+0(FP), DI
+	MOVQ    xrow+8(FP), SI
+	MOVQ    n+16(FP), CX
+	MOVQ    cm+24(FP), R8
+	MOVQ    ym+32(FP), R9
+	SHRQ    $2, CX
+	VMOVDQU laneBits<>(SB), Y15
+
+blockaddloop:
+	// cm nibble -> Y2 lane mask. VMOVQ, not MOVQ: a legacy-SSE move into an
+	// XMM register inside VEX code pays the SSE/AVX state-transition penalty
+	// on every iteration (measured ~50x on this loop).
+	MOVQ         R8, AX
+	ANDQ         $15, AX
+	VMOVQ        AX, X2
+	VPBROADCASTQ X2, Y2
+	VPAND        Y15, Y2, Y2
+	VPCMPEQQ     Y15, Y2, Y2
+	SHRQ         $4, R8
+
+	// ym nibble -> Y3 lane mask
+	MOVQ         R9, AX
+	ANDQ         $15, AX
+	VMOVQ        AX, X3
+	VPBROADCASTQ X3, Y3
+	VPAND        Y15, Y3, Y3
+	VPCMPEQQ     Y15, Y3, Y3
+	SHRQ         $4, R9
+
+	VMOVUPD   (SI), Y4         // x
+	VMOVUPD   (DI), Y5         // yold
+	VADDPD    Y4, Y5, Y6       // sum = yold + x
+	VBLENDVPD Y3, Y6, Y4, Y7   // sel = ym ? sum : x
+	VBLENDVPD Y2, Y7, Y5, Y7   // new = cm ? sel : yold
+	VMOVUPD   Y7, (DI)
+	ADDQ      $32, SI
+	ADDQ      $32, DI
+	DECQ      CX
+	JNZ       blockaddloop
+	VZEROUPPER
+	RET
+
+// func scatterAddF64BodyAVX2(yw *uint64, yvals *float64, idx *uint32, n int, m float64)
+// The scalar-engine sum fold: branchless first-write handling — a clear mask
+// bit substitutes -0.0 for the stale value, and -0.0 + m == m bit-for-bit
+// for every non-signaling m, matching the scalar reference's raw store.
+TEXT ·scatterAddF64BodyAVX2(SB), NOSPLIT, $0-40
+	MOVQ  yw+0(FP), R8
+	MOVQ  yvals+8(FP), R10
+	MOVQ  idx+16(FP), SI
+	MOVQ  n+24(FP), CX
+	MOVSD m+32(FP), X0
+	MOVQ  $0x8000000000000000, R13
+
+scatterloop:
+	MOVL    (SI), DX           // dst
+	MOVQ    DX, BX
+	SHRQ    $6, BX
+	MOVQ    (R8)(BX*8), R9     // mask word
+	MOVQ    (R10)(DX*8), R11   // stale-or-live y value bits
+	BTQ     DX, R9             // CF = already reduced into?
+	CMOVQCC R13, R11           // no: fold from -0.0, i.e. store m raw
+	BTSQ    DX, R9
+	MOVQ    R9, (R8)(BX*8)
+	MOVQ    R11, X1
+	ADDSD   X0, X1
+	MOVSD   X1, (R10)(DX*8)
+	ADDQ    $4, SI
+	DECQ    CX
+	JNZ     scatterloop
+	RET

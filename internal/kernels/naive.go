@@ -1,0 +1,84 @@
+package kernels
+
+// This file is the scalar reference backend: the always-on, pure-Go
+// implementation of every primitive, byte-for-byte the behavior the SIMD
+// backends are audited against. Keep these loops boring — they are the
+// oracle, and they are also the fallback on CPUs without SIMD support, so
+// they must stay correct and readable before fast.
+
+func scalarAnd(dst, a, b []uint64) {
+	for i := range dst {
+		dst[i] = a[i] & b[i]
+	}
+}
+
+func scalarOr(dst, a, b []uint64) {
+	for i := range dst {
+		dst[i] = a[i] | b[i]
+	}
+}
+
+func scalarAndNot(dst, a, b []uint64) {
+	for i := range dst {
+		dst[i] = a[i] &^ b[i]
+	}
+}
+
+func scalarOrInto(dst, src []uint64) {
+	for i := range dst {
+		dst[i] |= src[i]
+	}
+}
+
+func scalarPopcountSum(w []uint64) int {
+	c := 0
+	for _, x := range w {
+		c += onesCount64(x)
+	}
+	return c
+}
+
+func scalarFirstNonzero(w []uint64) int {
+	for i, x := range w {
+		if x != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+func scalarSpanLess(a []uint32, v uint32) int {
+	for i, x := range a {
+		if x >= v {
+			return i
+		}
+	}
+	return len(a)
+}
+
+func scalarBlockAddF64(yrow, xrow []float64, cm, ym uint64) {
+	for s := range yrow {
+		bit := uint64(1) << uint(s)
+		if cm&bit == 0 {
+			continue
+		}
+		if ym&bit != 0 {
+			yrow[s] += xrow[s]
+		} else {
+			yrow[s] = xrow[s]
+		}
+	}
+}
+
+func scalarScatterAddF64(yw []uint64, yvals []float64, idx []uint32, m float64) {
+	for _, dst := range idx {
+		w := &yw[dst>>6]
+		bit := uint64(1) << (dst & 63)
+		if *w&bit != 0 {
+			yvals[dst] += m
+		} else {
+			yvals[dst] = m
+			*w |= bit
+		}
+	}
+}

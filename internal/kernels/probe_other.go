@@ -1,0 +1,15 @@
+//go:build !amd64 && !arm64
+
+package kernels
+
+// Architectures without a SIMD backend run the scalar reference everywhere.
+
+func probeBest() (Backend, string) { return Scalar, "no SIMD backend for this GOARCH" }
+
+func backendSupported(b Backend) bool { return b == Scalar }
+
+func backendTable(b Backend) table { return scalarTable }
+
+// CPUFeatures reports the SIMD-relevant CPU feature flags the probe saw;
+// empty when the architecture has no probe.
+func CPUFeatures() string { return "" }

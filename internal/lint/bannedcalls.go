@@ -3,7 +3,8 @@ package lint
 // bannedcalls is the blunt instrument of the suite: a configurable deny-list
 // of calls for hot-path packages. The engine's per-edge and per-entry code
 // (internal/sparse, internal/bitvec, the internal/core kernels and drivers,
-// and the internal/snap mapping layer every mmap-boot query reads through)
+// the internal/kernels SIMD dispatch layer every fold routes through, and
+// the internal/snap mapping layer every mmap-boot query reads through)
 // must not reach for wall clocks, formatted printing, or panics outside
 // validation — each is either a per-call allocation, a syscall, or a control
 // transfer that has no place inside a fold.
@@ -41,7 +42,7 @@ func newBannedcalls() *analysis.Analyzer {
 		Run: runBannedcalls,
 	}
 	a.Flags.Init("bannedcalls", flag.ContinueOnError)
-	a.Flags.String("pkgs", "graphmat/internal/sparse,graphmat/internal/bitvec,graphmat/internal/core,graphmat/internal/snap",
+	a.Flags.String("pkgs", "graphmat/internal/sparse,graphmat/internal/bitvec,graphmat/internal/core,graphmat/internal/snap,graphmat/internal/kernels",
 		"comma-separated package scope (path or suffix) the deny-list applies to")
 	a.Flags.String("calls",
 		"time.Now,time.Since,fmt.Sprintf,fmt.Sprint,fmt.Sprintln,fmt.Printf,fmt.Print,fmt.Println,math/rand.*,math/rand/v2.*,panic",

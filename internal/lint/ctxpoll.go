@@ -40,7 +40,7 @@ func newCtxpoll() *analysis.Analyzer {
 		Run: runCtxpoll,
 	}
 	a.Flags.Init("ctxpoll", flag.ContinueOnError)
-	a.Flags.String("pkgs", "graphmat/internal/core,graphmat/internal/distributed",
+	a.Flags.String("pkgs", "graphmat/internal/core,graphmat/internal/distributed,graphmat/internal/kernels",
 		"comma-separated package scope (path or suffix) the polling rule applies to")
 	a.Flags.String("funcs", "spmv*,spmm*,MultiplyPartition",
 		"comma-separated kernel entry points (name or prefix*) whose dispatch loops must poll")
