@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt lint graphmatlint staticcheck govulncheck test race bench bench-engine bench-engine-record bench-store bench-multi bench-snap fuzz kernel-parity ci
+.PHONY: all build fmt lint graphmatlint staticcheck govulncheck test race bench bench-engine bench-engine-record bench-sched bench-store bench-multi bench-snap fuzz kernel-parity ci
 
 all: build
 
@@ -56,7 +56,7 @@ test:
 # registry instances; bitvec backs every frontier the workers share and gen
 # feeds the parallel generators. All matter under -race.
 race:
-	$(GO) test -race ./internal/core/... ./internal/sparse/... ./internal/distributed/... ./internal/server/... ./internal/graph/... ./internal/bitvec/... ./internal/gen/... ./internal/snap/... ./algorithms/...
+	$(GO) test -race ./internal/core/... ./internal/sched/... ./internal/sparse/... ./internal/distributed/... ./internal/server/... ./internal/graph/... ./internal/bitvec/... ./internal/gen/... ./internal/snap/... ./algorithms/...
 
 # Fuzz smoke over the graph readers and the SIMD kernel backends: 10s per
 # target (go test takes one -fuzz pattern at a time). The reader targets
@@ -93,6 +93,12 @@ bench-engine:
 # and the default selection — captured automatically.
 bench-engine-record:
 	$(GO) run ./cmd/benchrecord -out BENCH_engine.json
+
+# The scheduler runtime microbenches: pool wake vs per-call spawn dispatch
+# latency, plus the steal-overhead / balanced pair. -cpu 1,4 exercises both
+# the inline single-worker path and real cross-worker stealing.
+bench-sched:
+	$(GO) test -bench=. -benchtime=1s -run='^$$' -cpu=1,4 ./internal/sched
 
 # The versioned-store baseline: 1% update-batch application and overlay
 # compaction, behind BENCH_store.json. Real measurement (1s per case).

@@ -54,6 +54,11 @@ func (SSSPProgram) Direction() graphmat.Direction { return graphmat.Out }
 // destination property, enabling the backend's fast path.
 func (SSSPProgram) ProcessIgnoresDst() {}
 
+// ReducesByMinPlusF32 declares the float32 (min, +) tropical fold, routing
+// the scalar and block column folds through the kernels layer's fused
+// path-fold primitives.
+func (SSSPProgram) ReducesByMinPlusF32() {}
+
 // NewSSSPGraph builds the SSSP property graph: self-loops removed, directed
 // edges kept as-is with their weights (§5.1). The input is consumed.
 func NewSSSPGraph(adj *graphmat.COO[float32], partitions int) (*graphmat.Graph[float32, float32], error) {

@@ -25,6 +25,10 @@ func accumulate(dst *graphmat.Stats, s graphmat.Stats) {
 	dst.ColumnsProbed += s.ColumnsProbed
 	dst.PushSupersteps += s.PushSupersteps
 	dst.PullSupersteps += s.PullSupersteps
+	dst.Sched.Workers = s.Sched.Workers
+	dst.Sched.Tasks += s.Sched.Tasks
+	dst.Sched.Steals += s.Sched.Steals
+	dst.Sched.BusyNS += s.Sched.BusyNS
 }
 
 // session adapts a caller's observer to a driver loop that invokes the

@@ -33,6 +33,15 @@ type benchEntry struct {
 	Name    string  `json:"name"`
 	NsPerOp float64 `json:"ns_per_op"`
 	MBPerS  float64 `json:"mb_per_s,omitempty"`
+	// Gomaxprocs is the GOMAXPROCS the run actually used — the -N suffix
+	// go test appends to each result line. Recorded per entry (a -cpu list
+	// runs the same benchmark at several values; the environment block only
+	// has the recording machine's default).
+	Gomaxprocs int `json:"gomaxprocs,omitempty"`
+	// Metrics carries any extra b.ReportMetric pairs from the run — the
+	// engine benchmarks emit the scheduler's utilization counters here
+	// (sched-tasks/op, steals/op, busy-util).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 type environment struct {
@@ -136,22 +145,26 @@ func backendSet() string {
 
 // parseBenchLine parses one `go test -bench` result line, e.g.
 //
-//	BenchmarkEngineBFS/backend_avx2/mode_pull/workers_1-8   2149   561054 ns/op   81.06 MB/s
+//	BenchmarkEngineBFS/backend_avx2/mode_pull/workers_1-8   2149   561054 ns/op   81.06 MB/s   0.24 busy-util
 //
-// The trailing -N on the name is the GOMAXPROCS suffix, stripped because the
-// environment block records it once.
+// The trailing -N on the name is the GOMAXPROCS the run used; it is stripped
+// from the name and recorded in the entry's Gomaxprocs field. Units beyond
+// ns/op and MB/s (the engine benchmarks' scheduler utilization counters,
+// B/op, allocs/op, custom b.ReportMetric pairs) land in the Metrics map.
 func parseBenchLine(line string) (benchEntry, bool) {
 	f := strings.Fields(line)
 	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
 		return benchEntry{}, false
 	}
 	name := f[0]
+	procs := 1 // go test omits the -N suffix when GOMAXPROCS=1
 	if i := strings.LastIndexByte(name, '-'); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+		if n, err := strconv.Atoi(name[i+1:]); err == nil {
 			name = name[:i]
+			procs = n
 		}
 	}
-	e := benchEntry{Name: name}
+	e := benchEntry{Name: name, Gomaxprocs: procs}
 	ok := false
 	for i := 2; i < len(f); i++ {
 		v, err := strconv.ParseFloat(f[i-1], 64)
@@ -163,6 +176,14 @@ func parseBenchLine(line string) (benchEntry, bool) {
 			e.NsPerOp, ok = v, true
 		case "MB/s":
 			e.MBPerS = v
+		default:
+			if _, err := strconv.ParseFloat(f[i], 64); err == nil {
+				continue // f[i] is a value, not a unit (e.g. the iteration count)
+			}
+			if e.Metrics == nil {
+				e.Metrics = map[string]float64{}
+			}
+			e.Metrics[f[i]] = v
 		}
 	}
 	return e, ok

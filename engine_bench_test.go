@@ -32,6 +32,18 @@ func engineModes() []graphmat.Mode {
 
 var engineWorkers = []int{1, 4, 8}
 
+// reportSchedMetrics attaches the scheduler runtime's utilization counters
+// to the benchmark result: tasks and steals per op, and busy-util — the
+// fraction of worker×wall time spent inside task bodies (1.0 = perfectly
+// busy workers). benchrecord folds these into BENCH_engine.json.
+func reportSchedMetrics(b *testing.B, s graphmat.SchedStats, workers int) {
+	b.ReportMetric(float64(s.Tasks)/float64(b.N), "sched-tasks/op")
+	b.ReportMetric(float64(s.Steals)/float64(b.N), "steals/op")
+	if e := b.Elapsed().Nanoseconds(); e > 0 && workers > 0 {
+		b.ReportMetric(float64(s.BusyNS)/float64(e*int64(workers)), "busy-util")
+	}
+}
+
 // benchBackends runs body once per supported kernel backend under a
 // "backend_<name>" sub-benchmark with that backend forced.
 func benchBackends(b *testing.B, body func(b *testing.B)) {
@@ -67,11 +79,17 @@ func BenchmarkEngineBFS(b *testing.B) {
 			for _, workers := range engineWorkers {
 				b.Run(fmt.Sprintf("mode_%s/workers_%d", mode, workers), func(b *testing.B) {
 					b.SetBytes(g.NumEdges()) // edges traversed per op, for MB/s-style throughput
+					var sched graphmat.SchedStats
 					for i := 0; i < b.N; i++ {
-						if _, _, err := algorithms.BFSWithWorkspace(g, root, graphmat.Config{Threads: workers, Mode: mode}, ws); err != nil {
+						_, stats, err := algorithms.BFSWithWorkspace(g, root, graphmat.Config{Threads: workers, Mode: mode}, ws)
+						if err != nil {
 							b.Fatal(err)
 						}
+						sched.Tasks += stats.Sched.Tasks
+						sched.Steals += stats.Sched.Steals
+						sched.BusyNS += stats.Sched.BusyNS
 					}
+					reportSchedMetrics(b, sched, workers)
 				})
 			}
 		}
@@ -94,11 +112,17 @@ func BenchmarkEnginePageRank(b *testing.B) {
 						MaxIterations: 10,
 						Config:        graphmat.Config{Threads: workers, Mode: mode},
 					}
+					var sched graphmat.SchedStats
 					for i := 0; i < b.N; i++ {
-						if _, _, err := algorithms.PageRankWithWorkspace(g, opt, ws); err != nil {
+						_, stats, err := algorithms.PageRankWithWorkspace(g, opt, ws)
+						if err != nil {
 							b.Fatal(err)
 						}
+						sched.Tasks += stats.Sched.Tasks
+						sched.Steals += stats.Sched.Steals
+						sched.BusyNS += stats.Sched.BusyNS
 					}
+					reportSchedMetrics(b, sched, workers)
 				})
 			}
 		}

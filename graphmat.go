@@ -62,6 +62,17 @@ type DstIndependent = core.DstIndependent
 // kernel backends. See core.SumFoldF64.
 type SumFoldF64 = core.SumFoldF64
 
+// MinPlusFoldF32 is the optional marker for programs whose fold is the
+// float32 (min, +) tropical semiring (SSSP-shaped folds); implementing it
+// routes the SpMV/SpMM column folds through the kernel backends' fused
+// path-fold primitives. See core.MinPlusFoldF32.
+type MinPlusFoldF32 = core.MinPlusFoldF32
+
+// MaxMinFoldF32 is the optional marker for programs whose fold is the
+// float32 (max, min) bottleneck semiring (widest-path-shaped folds). See
+// core.MaxMinFoldF32.
+type MaxMinFoldF32 = core.MaxMinFoldF32
+
 // Graph is a directed property graph with vertex properties V and edge
 // values E.
 type Graph[V, E any] = graph.Graph[V, E]
@@ -86,6 +97,22 @@ type Config = core.Config
 
 // Stats reports what a run did.
 type Stats = core.Stats
+
+// SchedStats is the scheduler-runtime slice of Stats: worker count, tasks
+// dispatched, steals, and busy nanoseconds for one run.
+type SchedStats = core.SchedStats
+
+// Runtime selects how a run's parallel phases execute: Pooled (the default)
+// dispatches onto the process-wide persistent work-stealing pool; PerCall
+// spawns goroutines per phase, the pre-scheduler baseline kept for
+// ablation.
+type Runtime = core.Runtime
+
+// Runtime values.
+const (
+	Pooled  = core.Pooled
+	PerCall = core.PerCall
+)
 
 // VectorKind selects the sparse message-vector representation.
 type VectorKind = core.VectorKind

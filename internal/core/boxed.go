@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"graphmat/internal/graph"
+	"graphmat/internal/sched"
 	"graphmat/internal/sparse"
 )
 
@@ -181,7 +182,7 @@ func spmvBoxedSorted(part boxedPartition, xs *sparse.SortedVector[any], bp boxed
 	st.edges += edges
 }
 
-func runBoxed[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, cfg Config, ctrl *controller) (Stats, error) {
+func runBoxed[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, cfg Config, ctrl *controller) (stats Stats, err error) {
 	n := int(g.NumVertices())
 	active := g.Active()
 	dir := p.Direction()
@@ -207,6 +208,11 @@ func runBoxed[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 	chunks := chunkBounds(n, cfg.Threads*4)
 	nchunks := len(chunks) - 1
 	locals := make([]localStats, cfg.Threads)
+	// The boxed ablation keeps partition-granular tasks (its kernels take
+	// whole partitions) but still runs on the shared pool.
+	var tally sched.Tally
+	ex := cfg.exec(&tally)
+	defer func() { stats.Sched = ex.schedStats() }()
 	var sortedRuns [][]sparse.Entry[any]
 	if xs != nil {
 		sortedRuns = make([][]sparse.Entry[any], nchunks)
@@ -219,7 +225,6 @@ func runBoxed[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 	stop := ctrl.flag()
 	runStart := time.Now() //lint:graphmat bannedcalls one clock read per run, off the per-edge path
 
-	var stats Stats
 	stats.Reason = MaxIterations
 	for iter := 0; iter < maxIter; iter++ {
 		if r, ok := ctrl.stopped(); ok {
@@ -233,7 +238,7 @@ func runBoxed[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 
 		if x != nil {
 			x.Reset()
-			parallelFor(cfg.Threads, nchunks, cfg.Schedule, stop, func(c, w int) {
+			parallelFor(ex, nchunks, stop, func(c, w int) {
 				active.IterateRange(chunks[c], chunks[c+1], func(v uint32) {
 					if m, ok := bp.send(v); ok {
 						x.Set(v, m)
@@ -242,7 +247,7 @@ func runBoxed[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 			})
 		} else {
 			xs.Reset()
-			parallelFor(cfg.Threads, nchunks, cfg.Schedule, stop, func(c, w int) {
+			parallelFor(ex, nchunks, stop, func(c, w int) {
 				var run []sparse.Entry[any]
 				active.IterateRange(chunks[c], chunks[c+1], func(v uint32) {
 					if m, ok := bp.send(v); ok {
@@ -276,7 +281,7 @@ func runBoxed[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 				if parts == nil {
 					continue
 				}
-				parallelFor(cfg.Threads, len(parts), cfg.Schedule, stop, func(i, w int) {
+				parallelFor(ex, len(parts), stop, func(i, w int) {
 					if x != nil {
 						spmvBoxedBitvec(parts[i], x, bp, y, &locals[w])
 					} else {
@@ -292,7 +297,7 @@ func runBoxed[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 			}
 
 			active.Reset()
-			parallelFor(cfg.Threads, nchunks, cfg.Schedule, stop, func(c, w int) {
+			parallelFor(ex, nchunks, stop, func(c, w int) {
 				st := &locals[w]
 				y.IterateRange(chunks[c], chunks[c+1], func(v uint32, r any) {
 					st.applies++

@@ -106,6 +106,37 @@ const (
 	Boxed
 )
 
+// Runtime selects the parallel execution substrate the engine phases run
+// on. Like Mode and Schedule it is purely a performance knob: tasks write
+// disjoint 64-aligned output ranges and fold in a fixed order inside each
+// task, so both runtimes produce bit-identical results.
+type Runtime int
+
+const (
+	// Pooled (the zero value) dispatches phases through the persistent
+	// shared worker pool (internal/sched): workers are spawned once per
+	// process and parked between phases, tasks are dealt as per-worker
+	// spans with work stealing, and pull-superstep SpMV tasks are
+	// nnz-weighted — heavy partitions split into row sub-ranges of
+	// roughly equal edge work (see shapeTasks).
+	Pooled Runtime = iota
+	// PerCall spawns fresh goroutines on every phase call and hands out
+	// partition-granular SpMV tasks — the pre-pool engine behavior, kept
+	// as the scheduling ablation baseline.
+	PerCall
+)
+
+// String names the runtime for flags, logs and JSON.
+func (r Runtime) String() string {
+	switch r {
+	case Pooled:
+		return "pooled"
+	case PerCall:
+		return "percall"
+	}
+	return fmt.Sprintf("runtime(%d)", int(r))
+}
+
 // Schedule selects how matrix partitions are assigned to worker goroutines.
 type Schedule int
 
@@ -143,6 +174,11 @@ type Config struct {
 	// structure's total edge count. 0 means DefaultPushThreshold (20);
 	// higher values push less often.
 	PushThreshold float64
+	// Runtime selects the execution substrate: Pooled (default) runs
+	// phases on the persistent work-stealing pool with nnz-weighted task
+	// shaping; PerCall keeps the legacy per-call goroutine fan-out with
+	// partition-granular tasks (the scheduling ablation baseline).
+	Runtime Runtime
 }
 
 func (c Config) withDefaults() Config {
@@ -181,4 +217,29 @@ type Stats struct {
 	// DeadlineExceeded, StoppedByObserver). Aggregated stats — sums over
 	// many runs — leave it at ReasonNone.
 	Reason StopReason
+	// Sched reports the run's scheduler work (see SchedStats). Unlike the
+	// engine tallies above, BusyNS and Steals are wall-clock-dependent and
+	// vary run to run; differential assertions must not compare them.
+	Sched SchedStats
+}
+
+// SchedStats is one run's view of the worker-pool runtime: how many tasks
+// the run's phases dispatched, how many of them moved between workers by
+// stealing, and the summed busy time of every participating worker. Tasks
+// is deterministic for a fixed Config and graph; Steals and BusyNS are
+// scheduling outcomes. Process-cumulative per-worker counters (including
+// the park→wake counts) are exported separately via /v1/stats.
+type SchedStats struct {
+	// Workers is the configured worker count the run dispatched to.
+	Workers int
+	// Tasks counts scheduler tasks executed across all phases: chunk
+	// tasks in the send/apply phases plus (possibly row-split) SpMV tasks
+	// in the multiply phase.
+	Tasks int64
+	// Steals counts tasks that ran on a worker other than the one whose
+	// span initially held them.
+	Steals int64
+	// BusyNS is the summed wall time workers spent executing this run's
+	// phases.
+	BusyNS int64
 }

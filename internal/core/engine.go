@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"graphmat/internal/graph"
+	"graphmat/internal/sched"
 	"graphmat/internal/sparse"
 )
 
@@ -75,28 +76,74 @@ func chunkBounds(n, k int) []uint32 {
 	return bounds
 }
 
-// parallelFor runs fn(task, worker) over tasks [0, ntasks) on nworkers
-// goroutines. Dynamic scheduling pulls tasks from a shared atomic counter —
-// the paper's load-balancing mode; Static pre-assigns tasks round-robin.
-// stop, when non-nil, is polled before each task: once it goes nonzero the
-// remaining tasks are abandoned, which is how a cancellation aborts a
-// multi-second SpMV without waiting for the superstep to finish.
-func parallelFor(nworkers, ntasks int, sched Schedule, stop *atomic.Int32, fn func(task, worker int)) {
+// execCfg carries one run's scheduling parameters into the phase dispatch
+// helper: worker count, schedule, runtime selection, and the per-run tally
+// the scheduler work is accounted to.
+type execCfg struct {
+	workers int
+	sc      Schedule
+	rt      Runtime
+	tally   *sched.Tally
+}
+
+func (c Config) exec(t *sched.Tally) execCfg {
+	return execCfg{workers: c.Threads, sc: c.Schedule, rt: c.Runtime, tally: t}
+}
+
+// schedStats converts a run tally into the Stats view.
+func (ex execCfg) schedStats() SchedStats {
+	s := SchedStats{Workers: ex.workers}
+	if ex.tally != nil {
+		s.Tasks = ex.tally.Tasks.Load()
+		s.Steals = ex.tally.Steals.Load()
+		s.BusyNS = ex.tally.BusyNS.Load()
+	}
+	return s
+}
+
+// parallelFor runs fn(task, worker) over tasks [0, ntasks) on up to
+// ex.workers executors. Under the Pooled runtime (default) the tasks go to
+// the persistent shared worker pool — parked workers are woken instead of
+// spawned, with Dynamic runs rebalanced by work stealing and Static runs
+// pinned to their initial contiguous spans; PerCall keeps the legacy
+// goroutine fan-out. stop, when non-nil, is polled before each task under
+// either runtime: once it goes nonzero the remaining tasks are abandoned,
+// which is how a cancellation aborts a multi-second SpMV without waiting
+// for the superstep to finish.
+func parallelFor(ex execCfg, ntasks int, stop *atomic.Int32, fn func(task, worker int)) {
+	nworkers := ex.workers
 	if nworkers > ntasks {
 		nworkers = ntasks
 	}
 	if nworkers <= 1 {
+		ran := int64(0)
 		for i := 0; i < ntasks; i++ {
 			if stop != nil && stop.Load() != 0 {
-				return
+				break
 			}
 			fn(i, 0)
+			ran++
+		}
+		if ex.tally != nil {
+			ex.tally.Tasks.Add(ran)
 		}
 		return
 	}
+	if ex.rt == PerCall {
+		spawnFor(nworkers, ntasks, ex.sc, stop, fn)
+		return
+	}
+	sched.Shared(nworkers).RunOptions(ntasks, stop, sched.Options{NoSteal: ex.sc == Static, Tally: ex.tally}, fn)
+}
+
+// spawnFor is the PerCall runtime: fresh goroutines and a WaitGroup
+// barrier on every call, with Dynamic pulling tasks from a shared atomic
+// counter and Static pre-assigning them round-robin. Kept as the
+// scheduling ablation baseline the pooled runtime is gated against.
+func spawnFor(nworkers, ntasks int, sc Schedule, stop *atomic.Int32, fn func(task, worker int)) {
 	var wg sync.WaitGroup
 	wg.Add(nworkers)
-	if sched == Dynamic {
+	if sc == Dynamic {
 		var next atomic.Int64
 		for w := 0; w < nworkers; w++ {
 			go func(w int) {
@@ -129,7 +176,7 @@ func parallelFor(nworkers, ntasks int, sched Schedule, stop *atomic.Int32, fn fu
 	wg.Wait()
 }
 
-func runTyped[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, cfg Config, ws *Workspace[M, R], ctrl *controller) (Stats, error) {
+func runTyped[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, cfg Config, ws *Workspace[M, R], ctrl *controller) (stats Stats, err error) {
 	n := int(g.NumVertices())
 	props := g.Props()
 	active := g.Active()
@@ -171,6 +218,16 @@ func runTyped[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 
 	x, xs, y := ws.x, ws.xs, ws.y
 
+	// Multiply-phase task lists, prepared once per run and direction: a
+	// partition-granular list plus the nnz-weighted shaped list the pooled
+	// runtime uses on pull supersteps (see shapeTasks).
+	outPlan := shapeTasks(outLayers, cfg.Threads, cfg.Runtime)
+	inPlan := shapeTasks(inLayers, cfg.Threads, cfg.Runtime)
+
+	var tally sched.Tally
+	ex := cfg.exec(&tally)
+	defer func() { stats.Sched = ex.schedStats() }()
+
 	chunks := chunkBounds(n, cfg.Threads*4)
 	nchunks := len(chunks) - 1
 	locals := make([]localStats, cfg.Threads)
@@ -188,7 +245,6 @@ func runTyped[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 	stop := ctrl.flag()
 	runStart := time.Now() //lint:graphmat bannedcalls one clock read per run, off the per-edge path
 
-	var stats Stats
 	stats.Reason = MaxIterations // what remains if the loop runs out
 	for iter := 0; iter < maxIter; iter++ {
 		if r, ok := ctrl.stopped(); ok {
@@ -204,7 +260,7 @@ func runTyped[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 		// message vector (Algorithm 2 lines 3-5).
 		if x != nil {
 			x.Reset()
-			parallelFor(cfg.Threads, nchunks, cfg.Schedule, stop, func(c, w int) {
+			parallelFor(ex, nchunks, stop, func(c, w int) {
 				st := &locals[w]
 				active.IterateRange(chunks[c], chunks[c+1], func(v uint32) {
 					if m, ok := p.SendMessage(v, props[v]); ok {
@@ -217,7 +273,7 @@ func runTyped[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 			})
 		} else {
 			xs.Reset()
-			parallelFor(cfg.Threads, nchunks, cfg.Schedule, stop, func(c, w int) {
+			parallelFor(ex, nchunks, stop, func(c, w int) {
 				st := &locals[w]
 				var run []sparse.Entry[M]
 				active.IterateRange(chunks[c], chunks[c+1], func(v uint32) {
@@ -266,18 +322,24 @@ func runTyped[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 			// overlay run the merged two-layer kernels; the rest take the
 			// single-layer fast path.
 			y.Reset()
-			for _, layers := range [2][]sparse.Layered[E]{outLayers, inLayers} {
+			for di, layers := range [2][]sparse.Layered[E]{outLayers, inLayers} {
 				if layers == nil {
 					continue
 				}
-				parallelFor(cfg.Threads, len(layers), cfg.Schedule, stop, func(i, w int) {
-					l := layers[i]
+				plan := &outPlan
+				if di == 1 {
+					plan = &inPlan
+				}
+				tasks := plan.pick(stepMode, x == nil)
+				parallelFor(ex, len(tasks), stop, func(ti, w int) {
+					t := tasks[ti]
+					l := layers[t.layer]
 					if l.Delta == nil {
 						switch {
 						case x != nil && stepMode == Push:
-							spmvPushBitvec(l.Base, x, props, p, y, &locals[w])
+							spmvPushBitvec(l.Base, x, props, p, y, &locals[w], t.rlo, t.rhi)
 						case x != nil:
-							spmvPullBitvec(l.Base, x, props, p, y, &locals[w])
+							spmvPullBitvec(l.Base, x, props, p, y, &locals[w], t.rlo, t.rhi)
 						case stepMode == Push:
 							spmvPushSorted(l.Base, xs, props, p, y, &locals[w])
 						default:
@@ -285,6 +347,9 @@ func runTyped[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 						}
 						return
 					}
+					// Layered partitions are never row-split (shapeTasks
+					// keeps them whole): the merged two-layer kernels run
+					// partition-granular.
 					switch {
 					case x != nil && stepMode == Push:
 						spmvPushBitvecLayered(l, x, props, p, y, &locals[w])
@@ -309,7 +374,7 @@ func runTyped[V, E, M, R any, P Program[V, E, M, R]](g *graph.Graph[V, E], p P, 
 
 			// Phase 3: Apply and re-activation (Algorithm 2 lines 7-13).
 			active.Reset()
-			parallelFor(cfg.Threads, nchunks, cfg.Schedule, stop, func(c, w int) {
+			parallelFor(ex, nchunks, stop, func(c, w int) {
 				st := &locals[w]
 				y.IterateRange(chunks[c], chunks[c+1], func(v uint32, r R) {
 					st.applies++

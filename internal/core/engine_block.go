@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"graphmat/internal/graph"
+	"graphmat/internal/sched"
 	"graphmat/internal/sparse"
 )
 
@@ -76,7 +77,7 @@ func RunBlockContext[V, E, M, R any, P BlockProgram[V, E, M, R]](
 
 func runBlock[V, E, M, R any, P BlockProgram[V, E, M, R]](
 	g *graph.Graph[V, E], p P, bst *BlockState[V], cfg Config, ws *BlockWorkspace[M, R], ctrl *controller,
-) (Stats, error) {
+) (stats Stats, err error) {
 	n := int(g.NumVertices())
 	k := bst.k
 	props := bst.props
@@ -114,6 +115,15 @@ func runBlock[V, E, M, R any, P BlockProgram[V, E, M, R]](
 	x, y := ws.x, ws.y
 	active, actCols := bst.summary, bst.active
 
+	// Multiply-phase task plans, as in runTyped: nnz-weighted row-split
+	// tasks for pull supersteps, partition-granular for push.
+	outPlan := shapeTasks(outLayers, cfg.Threads, cfg.Runtime)
+	inPlan := shapeTasks(inLayers, cfg.Threads, cfg.Runtime)
+
+	var tally sched.Tally
+	ex := cfg.exec(&tally)
+	defer func() { stats.Sched = ex.schedStats() }()
+
 	chunks := chunkBounds(n, cfg.Threads*4)
 	nchunks := len(chunks) - 1
 	locals := make([]localStats, cfg.Threads)
@@ -125,7 +135,6 @@ func runBlock[V, E, M, R any, P BlockProgram[V, E, M, R]](
 	stop := ctrl.flag()
 	runStart := time.Now() //lint:graphmat bannedcalls one clock read per run, off the per-edge path
 
-	var stats Stats
 	stats.Reason = MaxIterations
 	for iter := 0; iter < maxIter; iter++ {
 		if r, ok := ctrl.stopped(); ok {
@@ -141,7 +150,7 @@ func runBlock[V, E, M, R any, P BlockProgram[V, E, M, R]](
 		// n×k message block. Chunks own disjoint 64-aligned vertex ranges, so
 		// the block vector's lazy-zero writes need no synchronization.
 		x.Reset()
-		parallelFor(cfg.Threads, nchunks, cfg.Schedule, stop, func(c, w int) {
+		parallelFor(ex, nchunks, stop, func(c, w int) {
 			st := &locals[w]
 			active.IterateRange(chunks[c], chunks[c+1], func(v uint32) {
 				am := actCols[v]
@@ -179,20 +188,28 @@ func runBlock[V, E, M, R any, P BlockProgram[V, E, M, R]](
 			// layered kernels where a delta overlay exists, single-layer fast
 			// path elsewhere.
 			y.Reset()
-			for _, layers := range [2][]sparse.Layered[E]{outLayers, inLayers} {
+			for di, layers := range [2][]sparse.Layered[E]{outLayers, inLayers} {
 				if layers == nil {
 					continue
 				}
-				parallelFor(cfg.Threads, len(layers), cfg.Schedule, stop, func(i, w int) {
-					l := layers[i]
+				plan := &outPlan
+				if di == 1 {
+					plan = &inPlan
+				}
+				tasks := plan.pick(stepMode, false)
+				parallelFor(ex, len(tasks), stop, func(ti, w int) {
+					t := tasks[ti]
+					l := layers[t.layer]
 					if l.Delta == nil {
 						if stepMode == Push {
-							spmmPushBitvec(l.Base, x, p, y, &locals[w])
+							spmmPushBitvec(l.Base, x, p, y, &locals[w], t.rlo, t.rhi)
 						} else {
-							spmmPullBitvec(l.Base, x, p, y, &locals[w])
+							spmmPullBitvec(l.Base, x, p, y, &locals[w], t.rlo, t.rhi)
 						}
 						return
 					}
+					// Layered partitions stay whole (shapeTasks never
+					// splits them).
 					if stepMode == Push {
 						spmmPushLayered(l, x, p, y, &locals[w])
 					} else {
@@ -209,7 +226,7 @@ func runBlock[V, E, M, R any, P BlockProgram[V, E, M, R]](
 			// Phase 3: Apply per received (vertex, column) pair, rebuilding
 			// the active block.
 			active.Reset()
-			parallelFor(cfg.Threads, nchunks, cfg.Schedule, stop, func(c, w int) {
+			parallelFor(ex, nchunks, stop, func(c, w int) {
 				st := &locals[w]
 				ysum := y.summary
 				ycols := y.cols

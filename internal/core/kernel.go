@@ -30,6 +30,12 @@ import (
 // The function is generic: the compiler monomorphizes it per program type,
 // inlining the user callbacks into the inner loop — the reproduction's
 // analogue of compiling the C++ with -ipo (§4.5 item 2).
+//
+// rlo/rhi bound the destination rows this call folds (the scheduler's
+// nnz-weighted sub-partition tasks); the whole-partition sentinel is
+// rlo=0, rhi=^uint32(0). Rows ascend within each DCSC column, so a
+// bounded call takes a contiguous sub-run per column — per-destination
+// fold order is exactly the unbounded call's.
 func spmvPullBitvec[V, E, M, R any, P Program[V, E, M, R]](
 	part *sparse.DCSC[E],
 	x *sparse.Vector[M],
@@ -37,8 +43,10 @@ func spmvPullBitvec[V, E, M, R any, P Program[V, E, M, R]](
 	p P,
 	y *sparse.Vector[R],
 	st *localStats,
+	rlo, rhi uint32,
 ) {
 	jc, cp, ir, vals := part.JC, part.CP, part.IR, part.Val
+	bounded := rlo > part.RowLo || rhi < part.RowHi
 	xw := x.Mask().Words()
 	xvals := x.Values()
 	yw := y.Mask().Words()
@@ -54,12 +62,47 @@ func spmvPullBitvec[V, E, M, R any, P Program[V, E, M, R]](
 				continue
 			}
 			lo, hi := cp[ci], cp[ci+1]
-			edges += int64(hi - lo)
-			kernels.ScatterAddF64(yw, sf.y, ir[lo:hi], sf.x[j])
+			irc := ir[lo:hi]
+			if bounded {
+				l, r := rowSpan(irc, rlo, rhi)
+				irc = irc[l:r]
+				if len(irc) == 0 {
+					continue
+				}
+			}
+			edges += int64(len(irc))
+			kernels.ScatterAddF64(yw, sf.y, irc, sf.x[j])
 		}
 		st.probes += int64(len(jc))
 		st.edges += edges
 		return
+	}
+	if ff := f32FoldScalarView(p, x, y); ff.kind != f32FoldNone {
+		// float32 path-semiring programs ((min,+) SSSP, (max,min) widest
+		// paths) take the fused column fold when the edge weights are
+		// float32 too.
+		if wv, ok := any(vals).([]float32); ok {
+			for ci, j := range jc {
+				if xw[j>>6]&(1<<(j&63)) == 0 {
+					continue
+				}
+				lo, hi := cp[ci], cp[ci+1]
+				irc := ir[lo:hi]
+				wc := wv[lo:hi:hi]
+				if bounded {
+					l, r := rowSpan(irc, rlo, rhi)
+					irc, wc = irc[l:r], wc[l:r]
+					if len(irc) == 0 {
+						continue
+					}
+				}
+				edges += int64(len(irc))
+				ff.scatter(yw, irc, wc, ff.x[j])
+			}
+			st.probes += int64(len(jc))
+			st.edges += edges
+			return
+		}
 	}
 	for ci, j := range jc {
 		if xw[j>>6]&(1<<(j&63)) == 0 {
@@ -67,10 +110,17 @@ func spmvPullBitvec[V, E, M, R any, P Program[V, E, M, R]](
 		}
 		m := xvals[j]
 		lo, hi := cp[ci], cp[ci+1]
-		edges += int64(hi - lo)
 		// Subslice the column so the inner loop is bounds-check free.
 		irc := ir[lo:hi]
 		vc := vals[lo:hi:hi]
+		if bounded {
+			l, r := rowSpan(irc, rlo, rhi)
+			irc, vc = irc[l:r], vc[l:r]
+			if len(irc) == 0 {
+				continue
+			}
+		}
+		edges += int64(len(irc))
 		if dstFree {
 			// The program declared ProcessMessage ignores the destination
 			// property: skip the per-edge random load of props[dst].
@@ -112,6 +162,9 @@ func spmvPullBitvec[V, E, M, R any, P Program[V, E, M, R]](
 // frontier cheap on a scale-18 graph. Columns are still visited in
 // ascending id, so the Reduce fold order — and therefore the result —
 // is bit-identical to the pull kernel's.
+//
+// rlo/rhi bound the destination rows, as in spmvPullBitvec (whole-partition
+// sentinel rlo=0, rhi=^uint32(0)).
 func spmvPushBitvec[V, E, M, R any, P Program[V, E, M, R]](
 	part *sparse.DCSC[E],
 	x *sparse.Vector[M],
@@ -119,17 +172,19 @@ func spmvPushBitvec[V, E, M, R any, P Program[V, E, M, R]](
 	p P,
 	y *sparse.Vector[R],
 	st *localStats,
+	rlo, rhi uint32,
 ) {
 	jc, cp, ir, vals := part.JC, part.CP, part.IR, part.Val
 	if len(jc) == 0 {
 		return
 	}
+	bounded := rlo > part.RowLo || rhi < part.RowHi
 	aux, shift := part.Aux, part.AuxShift
 	if aux == nil {
 		// Hand-assembled DCSCs (no AUX index) take FindColumn's
 		// binary-search fallback; BuildDCSC always indexes, so the engine
 		// never lands here.
-		spmvPushNoAux(part, x, props, p, y, st)
+		spmvPushNoAux(part, x, props, p, y, st, rlo, rhi)
 		return
 	}
 	xw := x.Mask().Words()
@@ -138,6 +193,9 @@ func spmvPushBitvec[V, E, M, R any, P Program[V, E, M, R]](
 	yvals := y.Values()
 	_, dstFree := any(p).(DstIndependent)
 	sf := sumFoldScalarView(p, x, y)
+	ff := f32FoldScalarView(p, x, y)
+	wv, wvOK := any(vals).([]float32)
+	ffOK := ff.kind != f32FoldNone && wvOK
 	var zeroV V
 	probes, edges := int64(0), int64(0)
 	// Only frontier words overlapping the partition's stored column range
@@ -179,9 +237,29 @@ func spmvPushBitvec[V, E, M, R any, P Program[V, E, M, R]](
 			}
 			m := xvals[j]
 			lo, hi := cp[ci], cp[ci+1]
-			edges += int64(hi - lo)
 			irc := ir[lo:hi]
+			if ffOK {
+				wc := wv[lo:hi:hi]
+				if bounded {
+					l, r := rowSpan(irc, rlo, rhi)
+					irc, wc = irc[l:r], wc[l:r]
+					if len(irc) == 0 {
+						continue
+					}
+				}
+				edges += int64(len(irc))
+				ff.scatter(yw, irc, wc, ff.x[j])
+				continue
+			}
 			vc := vals[lo:hi:hi]
+			if bounded {
+				l, r := rowSpan(irc, rlo, rhi)
+				irc, vc = irc[l:r], vc[l:r]
+				if len(irc) == 0 {
+					continue
+				}
+			}
+			edges += int64(len(irc))
 			if sf.ok {
 				kernels.ScatterAddF64(yw, sf.y, irc, sf.x[j])
 				continue
@@ -227,8 +305,10 @@ func spmvPushNoAux[V, E, M, R any, P Program[V, E, M, R]](
 	p P,
 	y *sparse.Vector[R],
 	st *localStats,
+	rlo, rhi uint32,
 ) {
 	jc, cp, ir, vals := part.JC, part.CP, part.IR, part.Val
+	bounded := rlo > part.RowLo || rhi < part.RowHi
 	xvals := x.Values()
 	ymask := y.Mask()
 	yvals := y.Values()
@@ -241,10 +321,15 @@ func spmvPushNoAux[V, E, M, R any, P Program[V, E, M, R]](
 		}
 		m := xvals[j]
 		lo, hi := cp[ci], cp[ci+1]
-		edges += int64(hi - lo)
-		for k := lo; k < hi; k++ {
-			dst := ir[k]
-			r := p.ProcessMessage(m, vals[k], props[dst])
+		irc := ir[lo:hi]
+		vc := vals[lo:hi:hi]
+		if bounded {
+			l, r := rowSpan(irc, rlo, rhi)
+			irc, vc = irc[l:r], vc[l:r]
+		}
+		edges += int64(len(irc))
+		for k, dst := range irc {
+			r := p.ProcessMessage(m, vc[k], props[dst])
 			if ymask.Get(dst) {
 				yvals[dst] = p.Reduce(yvals[dst], r)
 			} else {
@@ -255,6 +340,43 @@ func spmvPushNoAux[V, E, M, R any, P Program[V, E, M, R]](
 	})
 	st.probes += probes
 	st.edges += edges
+}
+
+// rowSpan returns the half-open index range of irc — one column's
+// ascending destination-row run — whose rows fall in [rlo, rhi). Two
+// binary searches, paid only by bounded (sub-partition) kernel tasks.
+func rowSpan(irc []uint32, rlo, rhi uint32) (int, int) {
+	// Endpoint fast paths: a bounded task checks every live column of its
+	// partition, but each column intersects only the few tasks its row
+	// extent spans — the disjoint and fully-contained cases resolve on two
+	// loads, no search.
+	n := len(irc)
+	if n == 0 || irc[0] >= rhi || irc[n-1] < rlo {
+		return 0, 0
+	}
+	if irc[0] >= rlo && irc[n-1] < rhi {
+		return 0, n
+	}
+	lo, hi := 0, len(irc)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if irc[mid] < rlo {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	l := lo
+	hi = len(irc)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if irc[mid] < rhi {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return l, lo
 }
 
 // spmvPullSorted is the pull kernel against the sorted-tuple message vector
@@ -419,9 +541,9 @@ func MultiplyPartition[V, E, M, R any, P Program[V, E, M, R]](
 ) (edges, probes int64) {
 	var st localStats
 	if mode == Push {
-		spmvPushBitvec(part, x, props, p, y, &st)
+		spmvPushBitvec(part, x, props, p, y, &st, 0, ^uint32(0))
 	} else {
-		spmvPullBitvec(part, x, props, p, y, &st)
+		spmvPullBitvec(part, x, props, p, y, &st, 0, ^uint32(0))
 	}
 	return st.edges, st.probes
 }

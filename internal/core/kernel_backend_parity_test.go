@@ -164,6 +164,10 @@ func TestKernelBackendParityScalarEngine(t *testing.T) {
 									t.Fatalf("%s: frontier word %d = %#x, scalar %#x", b, w, got.active[w], ref.active[w])
 								}
 							}
+							// Sched carries wall-clock counters (BusyNS,
+							// Steals); backend parity compares the
+							// deterministic engine tallies only.
+							got.stats.Sched, ref.stats.Sched = SchedStats{}, SchedStats{}
 							if got.stats != ref.stats {
 								t.Fatalf("%s: stats %+v, scalar %+v", b, got.stats, ref.stats)
 							}
@@ -226,6 +230,7 @@ func TestKernelBackendParityGenericFold(t *testing.T) {
 							t.Fatalf("%s: prop[%d] = %v, scalar %v", b, v, gotProps[v], refProps[v])
 						}
 					}
+					gotStats.Sched, refStats.Sched = SchedStats{}, SchedStats{}
 					if gotStats != refStats {
 						t.Fatalf("%s: stats %+v, scalar %+v", b, gotStats, refStats)
 					}
@@ -286,6 +291,7 @@ func TestKernelBackendParityBlockEngine(t *testing.T) {
 							}
 						}
 					}
+					gotStats.Sched, refStats.Sched = SchedStats{}, SchedStats{}
 					if gotStats != refStats {
 						t.Fatalf("%s: stats %+v, scalar %+v", b, gotStats, refStats)
 					}

@@ -68,20 +68,27 @@ func foldBlockColumn[V, E, M, R any, P BlockProgram[V, E, M, R]](
 // spmmPullBitvec is spmvPullBitvec widened to k columns: traverse the
 // partition's nonzero columns in ascending id, probe the block frontier's
 // summary bit, and fold each edge once per live source column.
+// rlo/rhi bound the destination rows (the scheduler's nnz-weighted
+// sub-partition tasks), exactly as in spmvPullBitvec.
 func spmmPullBitvec[V, E, M, R any, P BlockProgram[V, E, M, R]](
 	part *sparse.DCSC[E],
 	x *BlockVector[M],
 	p P,
 	y *BlockVector[R],
 	st *localStats,
+	rlo, rhi uint32,
 ) {
 	jc, cp, ir, vals := part.JC, part.CP, part.IR, part.Val
+	bounded := rlo > part.RowLo || rhi < part.RowHi
 	k := x.k
 	xw := x.summary.Words()
 	xcols, xvals := x.cols, x.vals
 	ysw := y.summary.Words()
 	ycols, yvals := y.cols, y.vals
 	xf, yf, sumOK := sumFoldBlockView(p, x, y)
+	fk, xg, yg := f32FoldBlockView(p, x, y)
+	wv, wvOK := any(vals).([]float32)
+	ffOK := fk != f32FoldNone && wvOK
 	edges := int64(0)
 	for ci, j := range jc {
 		if xw[j>>6]&(1<<(j&63)) == 0 {
@@ -92,13 +99,35 @@ func spmmPullBitvec[V, E, M, R any, P BlockProgram[V, E, M, R]](
 			continue
 		}
 		lo, hi := cp[ci], cp[ci+1]
-		edges += int64(hi-lo) * int64(bits.OnesCount64(cm))
+		irc := ir[lo:hi]
+		if ffOK {
+			wc := wv[lo:hi:hi]
+			if bounded {
+				l, r := rowSpan(irc, rlo, rhi)
+				irc, wc = irc[l:r], wc[l:r]
+				if len(irc) == 0 {
+					continue
+				}
+			}
+			edges += int64(len(irc)) * int64(bits.OnesCount64(cm))
+			foldBlockColumnF32(fk, k, cm, xg[int(j)*k:int(j)*k+k], irc, wc, ysw, ycols, yg)
+			continue
+		}
+		vc := vals[lo:hi:hi]
+		if bounded {
+			l, r := rowSpan(irc, rlo, rhi)
+			irc, vc = irc[l:r], vc[l:r]
+			if len(irc) == 0 {
+				continue
+			}
+		}
+		edges += int64(len(irc)) * int64(bits.OnesCount64(cm))
 		if sumOK {
-			foldBlockColumnSumF64(k, cm, xf[int(j)*k:int(j)*k+k], ir[lo:hi], ysw, ycols, yf)
+			foldBlockColumnSumF64(k, cm, xf[int(j)*k:int(j)*k+k], irc, ysw, ycols, yf)
 			continue
 		}
 		xrow := xvals[int(j)*k : int(j)*k+k]
-		foldBlockColumn(p, k, cm, xrow, ir[lo:hi], vals[lo:hi:hi], ysw, ycols, yvals)
+		foldBlockColumn(p, k, cm, xrow, irc, vc, ysw, ycols, yvals)
 	}
 	st.probes += int64(len(jc))
 	st.edges += edges
@@ -113,17 +142,22 @@ func spmmPushBitvec[V, E, M, R any, P BlockProgram[V, E, M, R]](
 	p P,
 	y *BlockVector[R],
 	st *localStats,
+	rlo, rhi uint32,
 ) {
 	jc, cp, ir, vals := part.JC, part.CP, part.IR, part.Val
 	if len(jc) == 0 {
 		return
 	}
+	bounded := rlo > part.RowLo || rhi < part.RowHi
 	k := x.k
 	xw := x.summary.Words()
 	xcols, xvals := x.cols, x.vals
 	ysw := y.summary.Words()
 	ycols, yvals := y.cols, y.vals
 	xf, yf, sumOK := sumFoldBlockView(p, x, y)
+	fk, xg, yg := f32FoldBlockView(p, x, y)
+	wv, wvOK := any(vals).([]float32)
+	ffOK := fk != f32FoldNone && wvOK
 	probes, edges := int64(0), int64(0)
 	loW := int(jc[0] >> 6)
 	hiW := int(jc[len(jc)-1]>>6) + 1
@@ -154,13 +188,35 @@ func spmmPushBitvec[V, E, M, R any, P BlockProgram[V, E, M, R]](
 				continue
 			}
 			lo, hi := cp[ci], cp[ci+1]
-			edges += int64(hi-lo) * int64(bits.OnesCount64(cm))
+			irc := ir[lo:hi]
+			if ffOK {
+				wc := wv[lo:hi:hi]
+				if bounded {
+					l, r := rowSpan(irc, rlo, rhi)
+					irc, wc = irc[l:r], wc[l:r]
+					if len(irc) == 0 {
+						continue
+					}
+				}
+				edges += int64(len(irc)) * int64(bits.OnesCount64(cm))
+				foldBlockColumnF32(fk, k, cm, xg[int(j)*k:int(j)*k+k], irc, wc, ysw, ycols, yg)
+				continue
+			}
+			vc := vals[lo:hi:hi]
+			if bounded {
+				l, r := rowSpan(irc, rlo, rhi)
+				irc, vc = irc[l:r], vc[l:r]
+				if len(irc) == 0 {
+					continue
+				}
+			}
+			edges += int64(len(irc)) * int64(bits.OnesCount64(cm))
 			if sumOK {
-				foldBlockColumnSumF64(k, cm, xf[int(j)*k:int(j)*k+k], ir[lo:hi], ysw, ycols, yf)
+				foldBlockColumnSumF64(k, cm, xf[int(j)*k:int(j)*k+k], irc, ysw, ycols, yf)
 				continue
 			}
 			xrow := xvals[int(j)*k : int(j)*k+k]
-			foldBlockColumn(p, k, cm, xrow, ir[lo:hi], vals[lo:hi:hi], ysw, ycols, yvals)
+			foldBlockColumn(p, k, cm, xrow, irc, vc, ysw, ycols, yvals)
 		}
 	}
 	st.probes += probes

@@ -49,14 +49,15 @@ func SpMVContext[V, E, M, R any, P Program[V, E, M, R]](
 		xs = sparse.NewSortedVector[M](x.Len())
 		x.Iterate(func(i uint32, v M) { xs.Append(i, v) })
 	}
-	parallelFor(cfg.Threads, len(layers), cfg.Schedule, ctrl.flag(), func(i, w int) {
+	ex := cfg.exec(nil)
+	parallelFor(ex, len(layers), ctrl.flag(), func(i, w int) {
 		l := layers[i]
 		if l.Delta == nil {
 			switch {
 			case xs == nil && mode == Push:
-				spmvPushBitvec(l.Base, x, g.Props(), p, y, &locals[w])
+				spmvPushBitvec(l.Base, x, g.Props(), p, y, &locals[w], 0, ^uint32(0))
 			case xs == nil:
-				spmvPullBitvec(l.Base, x, g.Props(), p, y, &locals[w])
+				spmvPullBitvec(l.Base, x, g.Props(), p, y, &locals[w], 0, ^uint32(0))
 			case mode == Push:
 				spmvPushSorted(l.Base, xs, g.Props(), p, y, &locals[w])
 			default:

@@ -33,6 +33,7 @@ import (
 	"graphmat/internal/bitvec"
 	"graphmat/internal/core"
 	"graphmat/internal/graph"
+	"graphmat/internal/sched"
 	"graphmat/internal/sparse"
 )
 
@@ -268,16 +269,12 @@ func RunModeContext[V, E, M, R any, P core.Program[V, E, M, R]](ctx context.Cont
 		ys[i] = sparse.NewVector[R](int(c.n))
 	}
 
+	// Each node's superstep work is one task on the shared scheduler pool:
+	// the simulated machines reuse the same persistent workers across
+	// supersteps and runs, and the stop flag is polled per task, so a
+	// cancel can land between nodes within one phase.
 	barrier := func(fn func(nd *node[V, E])) {
-		var wg sync.WaitGroup
-		wg.Add(nn)
-		for _, nd := range c.nodes {
-			go func(nd *node[V, E]) {
-				defer wg.Done()
-				fn(nd)
-			}(nd)
-		}
-		wg.Wait()
+		sched.Shared(nn).Run(nn, &stop, func(i, _ int) { fn(c.nodes[i]) })
 	}
 
 	for iter := 0; iter < maxIterations; iter++ {

@@ -83,6 +83,13 @@ type table struct {
 	spanLess      func(a []uint32, v uint32) int
 	blockAddF64   func(yrow, xrow []float64, cm, ym uint64)
 	scatterAddF64 func(yw []uint64, yvals []float64, idx []uint32, m float64)
+
+	// float32 path-semiring folds: (min, +) and (max, min). Scalar-only for
+	// now — SIMD variants slot in per primitive like the f64 folds.
+	scatterMinPlusF32 func(yw []uint64, yvals []float32, idx []uint32, wv []float32, m float32)
+	scatterMaxMinF32  func(yw []uint64, yvals []float32, idx []uint32, wv []float32, m float32)
+	blockMinPlusF32   func(yrow, xrow []float32, w float32, cm, ym uint64)
+	blockMaxMinF32    func(yrow, xrow []float32, w float32, cm, ym uint64)
 }
 
 // scalarTable is the always-available reference backend.
@@ -96,6 +103,11 @@ var scalarTable = table{
 	spanLess:      scalarSpanLess,
 	blockAddF64:   scalarBlockAddF64,
 	scatterAddF64: scalarScatterAddF64,
+
+	scatterMinPlusF32: scalarScatterMinPlusF32,
+	scatterMaxMinF32:  scalarScatterMaxMinF32,
+	blockMinPlusF32:   scalarBlockMinPlusF32,
+	blockMaxMinF32:    scalarBlockMaxMinF32,
 }
 
 var (
@@ -224,6 +236,48 @@ func BlockAddF64(yrow, xrow []float64, cm, ym uint64) { active.blockAddF64(yrow,
 // the scalar reference stores it raw.
 func ScatterAddF64(yw []uint64, yvals []float64, idx []uint32, m float64) {
 	active.scatterAddF64(yw, yvals, idx, m)
+}
+
+// ScatterMinPlusF32 is the scalar-engine (min, +) float32 fold of one
+// adjacency column — the tropical semiring of SSSP's Bellman-Ford step. For
+// each destination idx[k], the candidate is m + wv[k] (message extended by
+// the edge weight) and the reduction keeps the minimum:
+//
+//	yvals[dst] = min(yvals[dst], m+wv[k])   if yw bit dst set
+//	yvals[dst] = m + wv[k]                  otherwise (first write), set bit
+//
+// len(wv) must equal len(idx); idx entries must be < len(yvals) with yw
+// covering them. The reduction is the builtin min in the exact argument
+// order the generic engine fold uses, so results are bit-identical to the
+// callback loop.
+func ScatterMinPlusF32(yw []uint64, yvals []float32, idx []uint32, wv []float32, m float32) {
+	active.scatterMinPlusF32(yw, yvals, idx, wv, m)
+}
+
+// ScatterMaxMinF32 is the scalar-engine (max, min) float32 fold of one
+// adjacency column — the bottleneck semiring of widest paths. The candidate
+// is min(m, wv[k]) (path width capped by the edge capacity) and the
+// reduction keeps the maximum. Contract as in ScatterMinPlusF32.
+func ScatterMaxMinF32(yw []uint64, yvals []float32, idx []uint32, wv []float32, m float32) {
+	active.scatterMaxMinF32(yw, yvals, idx, wv, m)
+}
+
+// BlockMinPlusF32 is the (min, +) float32 fold of the block (SpMM) kernels:
+// one edge of weight w advancing all live source columns at once —
+//
+//	for each source s with cm bit s set:
+//	    yrow[s] = min(yrow[s], xrow[s]+w)   if ym bit s set
+//	    yrow[s] = xrow[s] + w               otherwise (first write)
+//
+// Lanes outside cm are untouched. len(xrow) >= len(yrow), len(yrow) <= 64.
+func BlockMinPlusF32(yrow, xrow []float32, w float32, cm, ym uint64) {
+	active.blockMinPlusF32(yrow, xrow, w, cm, ym)
+}
+
+// BlockMaxMinF32 is the (max, min) float32 fold of the block kernels:
+// candidate min(xrow[s], w), reduction max. Contract as in BlockMinPlusF32.
+func BlockMaxMinF32(yrow, xrow []float32, w float32, cm, ym uint64) {
+	active.blockMaxMinF32(yrow, xrow, w, cm, ym)
 }
 
 // onesCount64 aliases math/bits for the scalar references below.

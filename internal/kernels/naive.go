@@ -82,3 +82,61 @@ func scalarScatterAddF64(yw []uint64, yvals []float64, idx []uint32, m float64) 
 		}
 	}
 }
+
+func scalarScatterMinPlusF32(yw []uint64, yvals []float32, idx []uint32, wv []float32, m float32) {
+	for k, dst := range idx {
+		r := m + wv[k]
+		w := &yw[dst>>6]
+		bit := uint64(1) << (dst & 63)
+		if *w&bit != 0 {
+			yvals[dst] = min(yvals[dst], r)
+		} else {
+			yvals[dst] = r
+			*w |= bit
+		}
+	}
+}
+
+func scalarScatterMaxMinF32(yw []uint64, yvals []float32, idx []uint32, wv []float32, m float32) {
+	for k, dst := range idx {
+		r := min(m, wv[k])
+		w := &yw[dst>>6]
+		bit := uint64(1) << (dst & 63)
+		if *w&bit != 0 {
+			yvals[dst] = max(yvals[dst], r)
+		} else {
+			yvals[dst] = r
+			*w |= bit
+		}
+	}
+}
+
+func scalarBlockMinPlusF32(yrow, xrow []float32, w float32, cm, ym uint64) {
+	for s := range yrow {
+		bit := uint64(1) << uint(s)
+		if cm&bit == 0 {
+			continue
+		}
+		r := xrow[s] + w
+		if ym&bit != 0 {
+			yrow[s] = min(yrow[s], r)
+		} else {
+			yrow[s] = r
+		}
+	}
+}
+
+func scalarBlockMaxMinF32(yrow, xrow []float32, w float32, cm, ym uint64) {
+	for s := range yrow {
+		bit := uint64(1) << uint(s)
+		if cm&bit == 0 {
+			continue
+		}
+		r := min(xrow[s], w)
+		if ym&bit != 0 {
+			yrow[s] = max(yrow[s], r)
+		} else {
+			yrow[s] = r
+		}
+	}
+}

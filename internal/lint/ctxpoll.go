@@ -44,7 +44,7 @@ func newCtxpoll() *analysis.Analyzer {
 		"comma-separated package scope (path or suffix) the polling rule applies to")
 	a.Flags.String("funcs", "spmv*,spmm*,MultiplyPartition",
 		"comma-separated kernel entry points (name or prefix*) whose dispatch loops must poll")
-	a.Flags.String("wrappers", "parallelFor:3",
+	a.Flags.String("wrappers", "parallelFor:2,Run:1,RunOptions:1",
 		"comma-separated name:argIndex pairs of dispatch helpers that poll internally when the given argument is non-nil")
 	return a
 }

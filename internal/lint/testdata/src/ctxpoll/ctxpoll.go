@@ -10,15 +10,35 @@ import (
 // spmvPull stands in for a kernel entry point (matches the spmv* pattern).
 func spmvPull(part int) {}
 
+// execCfg stands in for the engine's execution config.
+type execCfg struct{ workers int }
+
 // parallelFor mirrors the engine's dispatch helper: it polls the stop flag
 // internally before every task, so routing through it with a non-nil stop
 // argument counts as polling.
-func parallelFor(nworkers, ntasks, sched int, stop *atomic.Int32, fn func(int)) {
+func parallelFor(ex execCfg, ntasks int, stop *atomic.Int32, fn func(task, worker int)) {
 	for i := 0; i < ntasks; i++ {
 		if stop != nil && stop.Load() != 0 {
 			return
 		}
-		fn(i)
+		fn(i, 0)
+	}
+}
+
+// pool mirrors the scheduler pool: Run and RunOptions poll the stop flag
+// before every task.
+type pool struct{}
+
+func (p *pool) Run(ntasks int, stop *atomic.Int32, fn func(task, worker int)) {
+	p.RunOptions(ntasks, stop, 0, fn)
+}
+
+func (p *pool) RunOptions(ntasks int, stop *atomic.Int32, opts int, fn func(task, worker int)) {
+	for i := 0; i < ntasks; i++ {
+		if stop != nil && stop.Load() != 0 {
+			return
+		}
+		fn(i, 0)
 	}
 }
 
@@ -38,7 +58,15 @@ func supersteps(parts []int, iters int) {
 
 func sweepWrapperNil(parts []int) {
 	for round := 0; round < 3; round++ { // want "without polling"
-		parallelFor(4, len(parts), 0, nil, func(i int) {
+		parallelFor(execCfg{4}, len(parts), nil, func(i, w int) {
+			spmvPull(parts[i])
+		})
+	}
+}
+
+func sweepPoolNil(parts []int, p *pool) {
+	for round := 0; round < 3; round++ { // want "without polling"
+		p.Run(len(parts), nil, func(i, w int) {
 			spmvPull(parts[i])
 		})
 	}
@@ -65,7 +93,23 @@ func sweepCtx(ctx context.Context, parts []int) error {
 
 func sweepWrapper(parts []int, stop *atomic.Int32) {
 	for round := 0; round < 3; round++ {
-		parallelFor(4, len(parts), 0, stop, func(i int) {
+		parallelFor(execCfg{4}, len(parts), stop, func(i, w int) {
+			spmvPull(parts[i])
+		})
+	}
+}
+
+func sweepPool(parts []int, p *pool, stop *atomic.Int32) {
+	for round := 0; round < 3; round++ {
+		p.Run(len(parts), stop, func(i, w int) {
+			spmvPull(parts[i])
+		})
+	}
+}
+
+func sweepPoolOptions(parts []int, p *pool, stop *atomic.Int32) {
+	for round := 0; round < 3; round++ {
+		p.RunOptions(len(parts), stop, 1, func(i, w int) {
 			spmvPull(parts[i])
 		})
 	}

@@ -1,0 +1,96 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// spawnFor is the legacy per-call fan-out these benchmarks compare the
+// pool against: fresh goroutines plus a WaitGroup barrier on every call —
+// exactly what the engine used to pay per phase per superstep.
+func spawnFor(nworkers, ntasks int, fn func(task, worker int)) {
+	if nworkers > ntasks {
+		nworkers = ntasks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(nworkers)
+	for w := 0; w < nworkers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= ntasks {
+					return
+				}
+				fn(i, w)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// BenchmarkWake measures dispatch latency of a trivial job through the
+// parked pool: the park→wake→barrier round trip that replaces goroutine
+// spawning. Compare against BenchmarkSpawn at the same -cpu.
+func BenchmarkWake(b *testing.B) {
+	p := NewPool(4)
+	defer p.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Run(4, nil, func(int, int) {})
+	}
+}
+
+// BenchmarkSpawn is the per-call fan-out baseline for BenchmarkWake.
+func BenchmarkSpawn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		spawnFor(4, 4, func(int, int) {})
+	}
+}
+
+// BenchmarkStealOverhead measures a maximally unbalanced job: every task's
+// work lives in one span (simulated by task weights), so most tasks reach
+// their executor by stealing. The per-task cost over BenchmarkBalanced's
+// is the steal overhead.
+func BenchmarkStealOverhead(b *testing.B) {
+	p := NewPool(4)
+	defer p.Close()
+	var sink atomic.Int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Run(256, nil, func(task, _ int) {
+			if task < 64 {
+				// The first span's tasks carry all the weight: its owner
+				// stays pinned while the other slots' trivial spans drain,
+				// forcing the remainder of this span to move by theft.
+				s := int64(0)
+				for k := 0; k < 2000; k++ {
+					s += int64(k)
+				}
+				sink.Add(s)
+			}
+		})
+	}
+}
+
+// BenchmarkBalanced is the evenly-weighted control for
+// BenchmarkStealOverhead: same total work, spread so spans drain in place.
+func BenchmarkBalanced(b *testing.B) {
+	p := NewPool(4)
+	defer p.Close()
+	var sink atomic.Int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Run(256, nil, func(task, _ int) {
+			if task%4 == 0 {
+				s := int64(0)
+				for k := 0; k < 2000; k++ {
+					s += int64(k)
+				}
+				sink.Add(s)
+			}
+		})
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"graphmat"
 	"graphmat/algorithms"
 	"graphmat/internal/graph"
+	"graphmat/internal/sched"
 	"graphmat/internal/sparse"
 )
 
@@ -846,6 +847,10 @@ type statsResponse struct {
 	// runs dispatched, and how many requests shared a run with others.
 	Batcher batcherStats          `json:"batcher"`
 	Graphs  map[string]GraphStats `json:"graphs"`
+	// Sched is the process-wide scheduler runtime's per-worker utilization
+	// view: one entry per pool size in use, cumulative since the pool was
+	// first woken (tasks run, tasks stolen, busy nanoseconds, wakeups).
+	Sched []sched.PoolStats `json:"sched,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -885,6 +890,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cache:         s.cache.stats(),
 		Batcher:       bs,
 		Graphs:        graphs,
+		Sched:         sched.Snapshot(),
 	})
 }
 

@@ -1,5 +1,7 @@
 package sparse
 
+import "sync"
+
 // DCSC is the Doubly Compressed Sparse Column format of Buluç & Gilbert,
 // the matrix representation GraphMat uses (paper §4.4.1). Unlike CSC, the
 // column-pointer array holds entries only for columns that actually contain
@@ -39,6 +41,40 @@ type DCSC[E any] struct {
 	// it is one partition of a 1-D row decomposition; for a whole matrix they
 	// are 0, NRows.
 	RowLo, RowHi uint32
+
+	// split memoizes SplitBounds: the histogram sweep behind the boundary
+	// computation costs O(nnz), and the engine re-plans tasks on every run
+	// against the same pinned structure (drivers like PageRank invoke the
+	// engine once per superstep).
+	split struct {
+		mu     sync.Mutex
+		nparts int
+		bounds []uint32
+	}
+}
+
+// SplitBounds partitions this structure's destination rows [RowLo, RowHi)
+// into nparts contiguous sub-ranges of roughly equal nonzero weight, with
+// interior boundaries 64-aligned (the same cut PartitionRows applies at
+// build time, here at sub-partition scale). It returns nparts+1 absolute
+// row boundaries; the result is memoized per nparts and must be treated as
+// read-only. Safe for concurrent use.
+func (m *DCSC[E]) SplitBounds(nparts int) []uint32 {
+	m.split.mu.Lock()
+	defer m.split.mu.Unlock()
+	if m.split.nparts == nparts {
+		return m.split.bounds
+	}
+	counts := make([]uint32, m.RowHi-m.RowLo)
+	for _, r := range m.IR {
+		counts[r-m.RowLo]++
+	}
+	bounds := PartitionRows(counts, nparts)
+	for i := range bounds {
+		bounds[i] += m.RowLo
+	}
+	m.split.nparts, m.split.bounds = nparts, bounds
+	return bounds
 }
 
 // NNZ returns the number of stored nonzeros.

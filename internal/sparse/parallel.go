@@ -3,8 +3,8 @@ package sparse
 import (
 	"runtime"
 	"slices"
-	"sync"
-	"sync/atomic"
+
+	"graphmat/internal/sched"
 )
 
 // This file is the parallel half of the ingestion pipeline: a stable parallel
@@ -32,9 +32,9 @@ func Workers(n int) int {
 }
 
 // ParallelFor runs fn(i) for every i in [0, n) across min(workers, n)
-// goroutines, pulling indices from a shared counter (dynamic scheduling, the
-// paper's §4.5 recipe). workers ≤ 1 runs inline. It returns after every call
-// completes.
+// executors on the process-wide scheduler pool (work-stealing dynamic
+// scheduling, the paper's §4.5 recipe). workers ≤ 1 runs inline. It returns
+// after every call completes.
 func ParallelFor(n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
@@ -45,22 +45,7 @@ func ParallelFor(n, workers int, fn func(i int)) {
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
+	sched.Shared(workers).Run(n, nil, func(i, _ int) { fn(i) })
 }
 
 // SortColMajorParallel is SortColMajor on workers goroutines (0 =
